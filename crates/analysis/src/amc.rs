@@ -1,0 +1,670 @@
+//! Adaptive Mixed-Criticality (AMC) response-time analyses.
+//!
+//! Fixed-priority scheduling for dual-criticality systems (Baruah, Burns &
+//! Davis, RTSS 2011): every task has a fixed priority; when a HC job
+//! exceeds its `C^L` budget the processor switches to high mode and all LC
+//! tasks are immediately dropped.
+//!
+//! Priorities here are **deadline-monotonic** (smaller relative deadline =
+//! higher priority, ties broken by task id), the standard choice for
+//! constrained-deadline fixed-priority systems.
+//!
+//! Three analyses:
+//!
+//! * **Low-mode RTA** ([`LoRta`]) — classic response-time analysis with
+//!   `C^L` budgets; every task (LC and HC) must meet its deadline before
+//!   any switch.
+//! * **AMC-rtb** ([`AmcRtb`]) — response-time bound: HC task `τi`'s
+//!   high-mode response satisfies
+//!   `R = C^H_i + Σ_{k∈hpH} ⌈R/Tk⌉·C^H_k + Σ_{j∈hpL} ⌈R^LO_i/Tj⌉·C^L_j`.
+//! * **AMC-max** ([`AmcMax`]) — enumerates candidate mode-switch instants
+//!   `s ∈ [0, R^LO_i)` as the paper describes ("considers all possible mode
+//!   switch instants until the low mode response time"): LC interference is
+//!   frozen at `(⌊s/Tj⌋+1)·C^L_j`, and of the `⌈R/Tk⌉` hp-HC jobs those
+//!   whose deadlines precede `s` — `M(k,s) = (⌊(s−Dk)/Tk⌋+1)₊` of them —
+//!   must already have completed and are charged at `C^L_k`, the rest at
+//!   `C^H_k`. The final bound takes the best of AMC-max and AMC-rtb, so
+//!   AMC-max dominates AMC-rtb by construction (as published).
+
+use crate::SchedulabilityTest;
+use mcsched_model::{Criticality, Task, TaskSet, Time};
+
+/// Deadline-monotonic priority order: returns task indices from highest to
+/// lowest priority.
+pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..ts.len()).collect();
+    let tasks = ts.as_slice();
+    idx.sort_by(|&a, &b| {
+        tasks[a]
+            .deadline()
+            .cmp(&tasks[b].deadline())
+            .then_with(|| tasks[a].id().cmp(&tasks[b].id()))
+    });
+    idx
+}
+
+/// Iterates the standard RTA fixpoint `R = wcet + interference(R)`,
+/// bailing out as soon as `R` exceeds `deadline`.
+fn fixpoint(wcet: Time, deadline: Time, interference: impl Fn(Time) -> Time) -> Option<Time> {
+    let mut r = wcet;
+    loop {
+        let next = wcet + interference(r);
+        if next > deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+}
+
+/// Low-mode response-time analysis at `C^L` budgets under
+/// deadline-monotonic priorities.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_analysis::LoRta;
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::hi(0, 10, 2, 4)?,
+///     Task::lo(1, 20, 5)?,
+/// ])?;
+/// let r = LoRta::compute(&ts).expect("LO-mode schedulable");
+/// assert_eq!(r[0].as_ticks(), 2);  // highest priority: runs alone
+/// assert_eq!(r[1].as_ticks(), 7);  // 5 + 2·⌈7/10⌉ = 7: fixpoint
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoRta;
+
+impl LoRta {
+    /// Computes every task's low-mode response time, in task-set order.
+    /// Returns `None` if any task misses its deadline in low mode.
+    pub fn compute(ts: &TaskSet) -> Option<Vec<Time>> {
+        let order = dm_order(ts);
+        Self::compute_with_order(ts, &order)
+    }
+
+    /// As [`LoRta::compute`], under a caller-supplied priority order
+    /// (indices from highest to lowest priority).
+    pub fn compute_with_order(ts: &TaskSet, order: &[usize]) -> Option<Vec<Time>> {
+        let tasks = ts.as_slice();
+        let mut resp = vec![Time::ZERO; tasks.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            let hp = &order[..pos];
+            let r = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
+                hp.iter()
+                    .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+                    .sum()
+            })?;
+            resp[i] = r;
+        }
+        Some(resp)
+    }
+}
+
+/// Shared AMC machinery: low-mode RTA plus per-variant high-mode RTA.
+fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Option<Time>) -> bool {
+    if ts.is_empty() {
+        return true;
+    }
+    let order = dm_order(ts);
+    let Some(lo_resp) = LoRta::compute_with_order(ts, &order) else {
+        return false;
+    };
+    let ctx = AmcContext {
+        tasks: ts.as_slice(),
+        order: &order,
+        lo_resp: &lo_resp,
+    };
+    for (pos, &i) in order.iter().enumerate() {
+        if ctx.tasks[i].criticality() == Criticality::High {
+            let _ = pos;
+            match hi_rta(&ctx, i) {
+                Some(r) if r <= ctx.tasks[i].deadline() => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Bundled inputs for the high-mode analyses.
+struct AmcContext<'a> {
+    tasks: &'a [Task],
+    order: &'a [usize],
+    lo_resp: &'a [Time],
+}
+
+impl AmcContext<'_> {
+    /// Higher-priority task indices for task `i`.
+    fn hp(&self, i: usize) -> &[usize] {
+        let pos = self
+            .order
+            .iter()
+            .position(|&x| x == i)
+            .expect("task in order");
+        &self.order[..pos]
+    }
+
+    fn rtb_response(&self, i: usize) -> Option<Time> {
+        let ti = &self.tasks[i];
+        let hp = self.hp(i);
+        let lo_cap = self.lo_resp[i];
+        fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
+            hp.iter()
+                .map(|&j| {
+                    let tj = &self.tasks[j];
+                    match tj.criticality() {
+                        Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
+                        Criticality::Low => tj.wcet_lo() * lo_cap.div_ceil(tj.period()),
+                    }
+                })
+                .sum()
+        })
+    }
+
+    /// AMC-max response for switch instant `s`.
+    fn max_response_at(&self, i: usize, s: Time) -> Option<Time> {
+        let ti = &self.tasks[i];
+        let hp = self.hp(i);
+        fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
+            hp.iter()
+                .map(|&j| {
+                    let tj = &self.tasks[j];
+                    match tj.criticality() {
+                        Criticality::Low => tj.wcet_lo() * (s.div_floor(tj.period()) + 1),
+                        Criticality::High => {
+                            let n = r.div_ceil(tj.period());
+                            // Two sound lower bounds on the hp-HC jobs that
+                            // certainly completed (hence ran at C^L) before
+                            // the switch at s:
+                            //  * jobs with deadlines at or before s (low-mode
+                            //    deadlines are guaranteed): ⌊(s−D)/T⌋ + 1;
+                            //  * all releases in [0, s] except at most one —
+                            //    with constrained deadlines (D ≤ T), at most
+                            //    one job per task is incomplete at any
+                            //    deadline-meeting instant: ⌊s/T⌋.
+                            let by_deadline = if s >= tj.deadline() {
+                                (s - tj.deadline()).div_floor(tj.period()) + 1
+                            } else {
+                                0
+                            };
+                            let by_release = s.div_floor(tj.period());
+                            let m = by_deadline.max(by_release).min(n);
+                            tj.wcet_lo() * m + tj.wcet_hi() * (n - m)
+                        }
+                    }
+                })
+                .sum()
+        })
+    }
+
+    /// Candidate switch instants for task `i`: points in `[0, R^LO_i)`
+    /// where some interference term steps, plus 0.
+    fn switch_candidates(&self, i: usize) -> Vec<Time> {
+        let r_lo = self.lo_resp[i];
+        let mut cands = vec![Time::ZERO];
+        for &j in self.hp(i) {
+            let tj = &self.tasks[j];
+            match tj.criticality() {
+                Criticality::Low => {
+                    // (⌊s/T⌋+1) steps at multiples of T.
+                    let mut t = tj.period();
+                    while t < r_lo {
+                        cands.push(t);
+                        t += tj.period();
+                    }
+                }
+                Criticality::High => {
+                    // M(k, s) steps at D + j·T (deadline bound) and at
+                    // multiples of T (release bound).
+                    let mut t = tj.deadline();
+                    while t < r_lo {
+                        cands.push(t);
+                        t += tj.period();
+                    }
+                    let mut t = tj.period();
+                    while t < r_lo {
+                        cands.push(t);
+                        t += tj.period();
+                    }
+                }
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    }
+}
+
+/// The AMC-rtb (response-time bound) schedulability test.
+///
+/// By default priorities are deadline-monotonic. AMC-rtb is
+/// **OPA-compatible** (a task's bound depends only on the *set* of
+/// higher-priority tasks, not their relative order), so
+/// [`AmcRtb::with_audsley`] enables Audsley's Optimal Priority Assignment,
+/// which strictly dominates DM for this test.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_analysis::{AmcRtb, SchedulabilityTest};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::hi(0, 10, 2, 4)?,
+///     Task::lo(1, 20, 5)?,
+/// ])?;
+/// assert!(AmcRtb::new().is_schedulable(&ts));
+/// assert!(AmcRtb::with_audsley().is_schedulable(&ts));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AmcRtb {
+    audsley: bool,
+}
+
+impl AmcRtb {
+    /// AMC-rtb under deadline-monotonic priorities.
+    pub fn new() -> Self {
+        AmcRtb { audsley: false }
+    }
+
+    /// AMC-rtb under Audsley's Optimal Priority Assignment: priorities are
+    /// assigned from the lowest level up; at each level any task whose
+    /// low-mode RTA and (for HC tasks) rtb high-mode RTA pass with *all*
+    /// remaining tasks as higher-priority interference can take the level.
+    /// Accepts a superset of the DM variant.
+    pub fn with_audsley() -> Self {
+        AmcRtb { audsley: true }
+    }
+
+    /// The Audsley priority order found for this set (highest priority
+    /// first), if one exists. Exposed so the simulator can run the
+    /// assignment the analysis certified.
+    pub fn audsley_order(ts: &TaskSet) -> Option<Vec<usize>> {
+        let n = ts.len();
+        let mut unassigned: Vec<usize> = (0..n).collect();
+        let mut lowest_first: Vec<usize> = Vec::with_capacity(n);
+        while !unassigned.is_empty() {
+            // Find a task that is feasible at the current (lowest free)
+            // priority level, with every other unassigned task above it.
+            let found = unassigned.iter().position(|&i| {
+                let hp: Vec<usize> = unassigned.iter().copied().filter(|&j| j != i).collect();
+                rtb_feasible_with_hp(ts, i, &hp)
+            })?;
+            let task = unassigned.remove(found);
+            lowest_first.push(task);
+        }
+        lowest_first.reverse();
+        Some(lowest_first)
+    }
+}
+
+/// Checks task `i` at the lowest priority level below the tasks in `hp`
+/// (low-mode RTA, and the rtb high-mode bound when `i` is HC).
+fn rtb_feasible_with_hp(ts: &TaskSet, i: usize, hp: &[usize]) -> bool {
+    let tasks = ts.as_slice();
+    let ti = &tasks[i];
+    let lo = fixpoint(ti.wcet_lo(), ti.deadline(), |r| {
+        hp.iter()
+            .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+            .sum()
+    });
+    let Some(lo_resp) = lo else {
+        return false;
+    };
+    if ti.criticality() == Criticality::Low {
+        return true;
+    }
+    fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
+        hp.iter()
+            .map(|&j| {
+                let tj = &tasks[j];
+                match tj.criticality() {
+                    Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
+                    Criticality::Low => tj.wcet_lo() * lo_resp.div_ceil(tj.period()),
+                }
+            })
+            .sum()
+    })
+    .is_some()
+}
+
+impl SchedulabilityTest for AmcRtb {
+    fn name(&self) -> &'static str {
+        if self.audsley {
+            "AMC-rtb-OPA"
+        } else {
+            "AMC-rtb"
+        }
+    }
+    fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        if self.audsley {
+            AmcRtb::audsley_order(ts).is_some()
+        } else {
+            amc_schedulable(ts, |ctx, i| ctx.rtb_response(i))
+        }
+    }
+}
+
+/// The AMC-max schedulability test (the variant the DATE 2017 paper uses
+/// for its "AMC" results).
+///
+/// Dominates [`AmcRtb`]: the returned response bound is the minimum of the
+/// switch-instant enumeration and the rtb bound.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_analysis::{AmcMax, SchedulabilityTest};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::hi(0, 10, 2, 4)?,
+///     Task::hi(1, 25, 3, 7)?,
+///     Task::lo(2, 20, 5)?,
+/// ])?;
+/// assert!(AmcMax::new().is_schedulable(&ts));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AmcMax {
+    _priv: (),
+}
+
+impl AmcMax {
+    /// Creates the test.
+    pub fn new() -> Self {
+        AmcMax { _priv: () }
+    }
+}
+
+impl SchedulabilityTest for AmcMax {
+    fn name(&self) -> &'static str {
+        "AMC-max"
+    }
+    fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        amc_schedulable(ts, |ctx, i| {
+            // max over switch instants; infeasible at any instant → None.
+            let mut worst = Time::ZERO;
+            for s in ctx.switch_candidates(i) {
+                let r = ctx.max_response_at(i, s)?;
+                worst = worst.max(r);
+            }
+            // AMC-max result never needs to be worse than AMC-rtb.
+            match ctx.rtb_response(i) {
+                Some(rtb) => Some(worst.min(rtb)),
+                None => Some(worst),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_model::Task;
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::try_from_tasks(tasks).unwrap()
+    }
+
+    #[test]
+    fn dm_order_sorts_by_deadline() {
+        let ts = set(vec![
+            Task::lo(0, 30, 1).unwrap(),
+            Task::hi(1, 10, 1, 2).unwrap(),
+            Task::lo_constrained(2, 40, 1, 5).unwrap(),
+        ]);
+        assert_eq!(dm_order(&ts), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn lo_rta_basic() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 5).unwrap(),
+        ]);
+        let r = LoRta::compute(&ts).unwrap();
+        assert_eq!(r[0], Time::new(2));
+        // τ1: R = 5 + ⌈R/10⌉·2 → R = 7.
+        assert_eq!(r[1], Time::new(7));
+    }
+
+    #[test]
+    fn lo_rta_detects_miss() {
+        let ts = set(vec![
+            Task::lo_constrained(0, 10, 5, 5).unwrap(),
+            Task::lo_constrained(1, 10, 5, 6).unwrap(),
+        ]);
+        assert!(LoRta::compute(&ts).is_none());
+    }
+
+    #[test]
+    fn lo_rta_multiple_preemptions() {
+        let ts = set(vec![
+            Task::lo(0, 5, 2).unwrap(),
+            Task::lo(1, 20, 6).unwrap(),
+        ]);
+        let r = LoRta::compute(&ts).unwrap();
+        // τ1: R = 6 + 2·⌈R/5⌉ converges at R = 10 (6 + 2·⌈10/5⌉ = 10).
+        assert_eq!(r[1], Time::new(10));
+    }
+
+    #[test]
+    fn amc_accepts_simple_mixed_set() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 5).unwrap(),
+        ]);
+        assert!(AmcRtb::new().is_schedulable(&ts));
+        assert!(AmcMax::new().is_schedulable(&ts));
+    }
+
+    #[test]
+    fn amc_rejects_hi_mode_overload() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 6).unwrap(),
+            Task::hi(1, 10, 2, 5).unwrap(),
+        ]);
+        assert!(!AmcRtb::new().is_schedulable(&ts));
+        assert!(!AmcMax::new().is_schedulable(&ts));
+    }
+
+    #[test]
+    fn amc_rejects_lo_mode_miss() {
+        let ts = set(vec![
+            Task::lo_constrained(0, 10, 5, 5).unwrap(),
+            Task::hi_constrained(1, 10, 4, 4, 6).unwrap(),
+        ]);
+        // DM: τ0 (D=5) above τ1 (D=6); τ1 LO response = 4+5 = 9 > 6.
+        assert!(!AmcRtb::new().is_schedulable(&ts));
+        assert!(!AmcMax::new().is_schedulable(&ts));
+    }
+
+    #[test]
+    fn amc_max_dominates_rtb_on_grid() {
+        // Grid sweep: every rtb-accepted set must be max-accepted.
+        for ch in 3..=8u64 {
+            for cl2 in 1..=4u64 {
+                for c3 in 1..=6u64 {
+                    let ts = set(vec![
+                        Task::hi(0, 12, 2, ch).unwrap(),
+                        Task::hi(1, 20, cl2, cl2 + 3).unwrap(),
+                        Task::lo(2, 15, c3).unwrap(),
+                    ]);
+                    let rtb = AmcRtb::new().is_schedulable(&ts);
+                    let mx = AmcMax::new().is_schedulable(&ts);
+                    if rtb {
+                        assert!(mx, "AMC-max rejected an AMC-rtb set: {ts}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amc_max_strictly_beats_rtb() {
+        // Hand-constructed instance where enumerating switch instants pays:
+        // DM order τb (D=14), τa (D=15), τi (D=48).
+        // R^LO_i = 23; AMC-rtb gives R = 52 > 48 (LC charged ⌈23/15⌉ = 2
+        // jobs and all τb jobs at C^H = 10 over the large window), while
+        // every switch instant s ∈ {0, 14, 15, 20} yields R(s) ≤ 37:
+        // early s freezes LC at one job, late s lets M(b, s) charge τb's
+        // completed job at C^L = 2.
+        let ts = set(vec![
+            Task::lo(0, 15, 5).unwrap(),
+            Task::hi_constrained(1, 20, 2, 10, 14).unwrap(),
+            Task::hi_constrained(2, 60, 9, 12, 48).unwrap(),
+        ]);
+        assert!(!AmcRtb::new().is_schedulable(&ts), "rtb should reject");
+        assert!(AmcMax::new().is_schedulable(&ts), "max should accept");
+    }
+
+    #[test]
+    fn lc_tasks_ignored_after_switch() {
+        // A heavy LC task below a HC task in priority affects only the
+        // LO-mode phase of the HC task's analysis.
+        let ts = set(vec![
+            Task::hi_constrained(0, 100, 10, 40, 60).unwrap(),
+            Task::lo(1, 100, 50).unwrap(),
+        ]);
+        // DM: τ0 (D=60) above τ1 (D=100): τ1's interference is irrelevant to
+        // τ0. τ0 passes trivially; τ1 needs 50 + 10 = 60 ≤ 100 in LO.
+        assert!(AmcMax::new().is_schedulable(&ts));
+    }
+
+    #[test]
+    fn hc_only_and_lc_only_sets() {
+        let hc_only = set(vec![
+            Task::hi(0, 10, 1, 3).unwrap(),
+            Task::hi(1, 14, 2, 5).unwrap(),
+        ]);
+        assert!(AmcMax::new().is_schedulable(&hc_only));
+        let lc_only = set(vec![
+            Task::lo(0, 10, 4).unwrap(),
+            Task::lo(1, 14, 5).unwrap(),
+        ]);
+        assert!(AmcMax::new().is_schedulable(&lc_only));
+        assert!(AmcRtb::new().is_schedulable(&lc_only));
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(AmcRtb::new().is_schedulable(&TaskSet::new()));
+        assert!(AmcMax::new().is_schedulable(&TaskSet::new()));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AmcRtb::new().name(), "AMC-rtb");
+        assert_eq!(AmcMax::new().name(), "AMC-max");
+    }
+
+    #[test]
+    fn audsley_dominates_dm_rtb_on_grid() {
+        // Grid sweep: OPA accepts everything DM-based rtb accepts.
+        for c0 in 1..=5u64 {
+            for c1 in 1..=6u64 {
+                for d1 in c1..=12 {
+                    let ts = set(vec![
+                        Task::hi(0, 10, c0, (c0 + 2).min(10)).unwrap(),
+                        Task::lo_constrained(1, 12, c1, d1).unwrap(),
+                        Task::lo(2, 20, 3).unwrap(),
+                    ]);
+                    let dm = AmcRtb::new().is_schedulable(&ts);
+                    let opa = AmcRtb::with_audsley().is_schedulable(&ts);
+                    if dm {
+                        assert!(opa, "OPA rejected a DM-accepted set: {ts}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn audsley_strictly_beats_dm() {
+        // DM puts τ1 (D = 9) above the HC task τ0 (D = 10), whose rtb
+        // high-mode bound then reads 6 + 5·⌈9/12⌉ = 11 > 10. Audsley finds
+        // the order τ0 > τ1 > τ2: τ0's bound is its own C^H = 6 ≤ 10, τ1
+        // responds in exactly 9, and τ2 converges at 30 ≤ 40.
+        let ts = set(vec![
+            Task::hi(0, 10, 4, 6).unwrap(),
+            Task::lo_constrained(1, 12, 5, 9).unwrap(),
+            Task::lo(2, 40, 3).unwrap(),
+        ]);
+        assert!(!AmcRtb::new().is_schedulable(&ts), "DM-rtb should reject");
+        assert!(
+            AmcRtb::with_audsley().is_schedulable(&ts),
+            "OPA should accept"
+        );
+        let order = AmcRtb::audsley_order(&ts).unwrap();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn audsley_order_is_a_permutation() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 5).unwrap(),
+            Task::hi(2, 25, 3, 6).unwrap(),
+        ]);
+        let order = AmcRtb::audsley_order(&ts).expect("feasible");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn audsley_rejects_infeasible() {
+        let ts = set(vec![
+            Task::hi(0, 10, 4, 9).unwrap(),
+            Task::hi(1, 10, 4, 9).unwrap(),
+        ]);
+        assert!(AmcRtb::audsley_order(&ts).is_none());
+        assert!(!AmcRtb::with_audsley().is_schedulable(&ts));
+    }
+
+    #[test]
+    fn audsley_names() {
+        assert_eq!(AmcRtb::with_audsley().name(), "AMC-rtb-OPA");
+        assert_eq!(AmcRtb::new().name(), "AMC-rtb");
+    }
+
+    #[test]
+    fn switch_candidates_cover_step_points() {
+        let ts = set(vec![
+            Task::lo(0, 7, 3).unwrap(),
+            Task::hi(1, 11, 1, 2).unwrap(),
+            Task::hi(2, 50, 5, 20).unwrap(),
+        ]);
+        let order = dm_order(&ts);
+        let lo = LoRta::compute_with_order(&ts, &order).unwrap();
+        // R^LO_2 = 5 + 3·⌈R/7⌉ + 1·⌈R/11⌉ converges at 13.
+        assert_eq!(lo[2], Time::new(13));
+        let ctx = AmcContext {
+            tasks: ts.as_slice(),
+            order: &order,
+            lo_resp: &lo,
+        };
+        let cands = ctx.switch_candidates(2);
+        assert!(cands.contains(&Time::ZERO));
+        // Multiples of 7 (LC period) below R^LO and 11 (HC deadline and
+        // period of τ1) below R^LO.
+        assert!(cands.contains(&Time::new(7)));
+        assert!(cands.contains(&Time::new(11)));
+        // Strictly below the LO response time.
+        assert!(cands.iter().all(|&c| c < lo[2]));
+    }
+}

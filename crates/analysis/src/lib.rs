@@ -1,0 +1,128 @@
+//! # mcsched-analysis
+//!
+//! Uniprocessor mixed-criticality schedulability tests for dual-criticality
+//! sporadic task systems, as used by Ramanathan & Easwaran (DATE 2017):
+//!
+//! * [`EdfVd`] — the utilization-based EDF-VD test of Baruah et al.
+//!   (ECRTS 2012), optimal speed-up 4/3 for implicit deadlines.
+//! * [`Ey`] — the demand-bound-function test with per-task virtual-deadline
+//!   tuning in the style of Ekberg & Yi (ECRTS 2012).
+//! * [`Ecdf`] — Easwaran's ECDF test (RTSS 2013): the same framework with a
+//!   strictly tighter carry-over demand bound, so it dominates [`Ey`].
+//! * [`AmcRtb`] / [`AmcMax`] — fixed-priority Adaptive Mixed-Criticality
+//!   response-time analyses of Baruah, Burns & Davis (RTSS 2011).
+//! * [`classic`] — plain (non-MC) EDF and fixed-priority baselines.
+//!
+//! Every test implements the object-safe [`SchedulabilityTest`] trait, so
+//! partitioning strategies in `mcsched-core` can treat them uniformly.
+//!
+//! All arithmetic is exact over integer ticks ([`mcsched_model::Time`]);
+//! floating point only appears in the closed-form EDF-VD utilization test,
+//! where it mirrors the published test statement.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsched_model::{Task, TaskSet};
+//! use mcsched_analysis::{EdfVd, Ecdf, AmcMax, SchedulabilityTest};
+//!
+//! # fn main() -> Result<(), mcsched_model::ModelError> {
+//! let ts = TaskSet::try_from_tasks(vec![
+//!     Task::hi(0, 10, 2, 4)?,
+//!     Task::lo(1, 20, 6)?,
+//! ])?;
+//!
+//! assert!(EdfVd::new().is_schedulable(&ts));
+//! assert!(Ecdf::new().is_schedulable(&ts));
+//! assert!(AmcMax::new().is_schedulable(&ts));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amc;
+pub mod classic;
+pub mod dbf;
+pub mod edfvd;
+pub mod vdtune;
+
+pub use amc::{AmcMax, AmcRtb, LoRta};
+pub use classic::{ClassicEdf, ClassicFp};
+pub use dbf::{DemandCheck, DemandCurve, VdTask};
+pub use edfvd::EdfVd;
+pub use vdtune::{Ecdf, Ey, VdAssignment};
+
+use mcsched_model::TaskSet;
+
+/// A uniprocessor schedulability test for dual-criticality task sets.
+///
+/// Implementations answer "can this task set be scheduled on one unit-speed
+/// processor by the associated algorithm?". Partitioning strategies call
+/// [`is_schedulable`](SchedulabilityTest::is_schedulable) on the candidate
+/// contents of each processor before committing an allocation (the paper's
+/// Algorithm 1, line 5).
+///
+/// The trait is object-safe; partitioners hold `&dyn SchedulabilityTest`.
+pub trait SchedulabilityTest {
+    /// A short human-readable name, e.g. `"EDF-VD"`.
+    fn name(&self) -> &'static str;
+
+    /// Returns `true` if the task set is deemed schedulable on one
+    /// processor by this test.
+    ///
+    /// Tests are *sufficient*: `true` means guaranteed schedulable under the
+    /// test's assumptions, `false` means "not proven schedulable".
+    fn is_schedulable(&self, ts: &TaskSet) -> bool;
+}
+
+impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        (**self).is_schedulable(ts)
+    }
+}
+
+impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        (**self).is_schedulable(ts)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use mcsched_model::Task;
+
+    #[test]
+    fn trait_objects_work() {
+        let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 1).unwrap()]).unwrap();
+        let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
+            Box::new(EdfVd::new()),
+            Box::new(Ey::new()),
+            Box::new(Ecdf::new()),
+            Box::new(AmcRtb::new()),
+            Box::new(AmcMax::new()),
+        ];
+        for t in &tests {
+            assert!(t.is_schedulable(&ts), "{} rejected a trivial set", t.name());
+        }
+    }
+
+    #[test]
+    fn blanket_impls() {
+        let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 1).unwrap()]).unwrap();
+        let t = EdfVd::new();
+        let by_ref: &dyn SchedulabilityTest = &&t;
+        assert!(by_ref.is_schedulable(&ts));
+        assert_eq!(by_ref.name(), "EDF-VD");
+        let boxed: Box<dyn SchedulabilityTest> = Box::new(EdfVd::new());
+        assert!(boxed.is_schedulable(&ts));
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation bench: the UDP design-choice variants (metric, sorting, fit
+//! direction, CA vs CU) and the AMC-max/AMC-rtb comparison, reported as
+//! weighted acceptance ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_bench::BENCH_SEED;
+use mcsched_exp::ablation::{amc_ablation, render_ablation, strategy_ablation};
+
+fn bench_ablation(c: &mut Criterion) {
+    let rows = strategy_ablation(4, 40, BENCH_SEED, 1);
+    println!("\n# Strategy ablation (m = 4, implicit, EDF-VD, 40 sets/bucket)");
+    println!("{}", render_ablation("strategy", rows));
+    let rows = amc_ablation(2, 40, BENCH_SEED, 1);
+    println!("\n# AMC variant ablation (m = 2, constrained, 40 sets/bucket)");
+    println!("{}", render_ablation("AMC variant", rows));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("strategy_m4", |b| {
+        b.iter(|| strategy_ablation(4, 5, BENCH_SEED, 1));
+    });
+    group.bench_function("amc_m2", |b| {
+        b.iter(|| amc_ablation(2, 5, BENCH_SEED, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 3 regeneration bench: acceptance ratio vs UB under EDF-VD for
+//! CA-UDP / CU-UDP / CA(nosort)-F-F, m ∈ {2, 4, 8} (implicit deadlines).
+//!
+//! Prints the series it measures, so `cargo bench` reproduces the same
+//! rows the paper's Fig. 3 plots (at bench sample size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_bench::{BENCH_SEED, BENCH_SETS_PER_BUCKET};
+use mcsched_exp::figures::fig3_panel;
+use mcsched_exp::report::render_table;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_edfvd");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        // Print the regenerated series once per configuration.
+        let result = fig3_panel(m, BENCH_SETS_PER_BUCKET, BENCH_SEED, 1);
+        println!("\n# Fig. 3 (m = {m}, {BENCH_SETS_PER_BUCKET} sets/bucket)");
+        println!("{}", render_table(&result));
+        group.bench_with_input(BenchmarkId::new("panel", m), &m, |b, &m| {
+            b.iter(|| fig3_panel(m, 10, BENCH_SEED, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 4 regeneration bench: implicit deadlines, ECDF/AMC UDP algorithms
+//! vs the EY baselines, m ∈ {2, 4, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_bench::{BENCH_SEED, BENCH_SETS_PER_BUCKET};
+use mcsched_exp::figures::fig4_panel;
+use mcsched_exp::report::render_table;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_implicit");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        let result = fig4_panel(m, BENCH_SETS_PER_BUCKET, BENCH_SEED, 1);
+        println!("\n# Fig. 4 (m = {m}, {BENCH_SETS_PER_BUCKET} sets/bucket)");
+        println!("{}", render_table(&result));
+        group.bench_with_input(BenchmarkId::new("panel", m), &m, |b, &m| {
+            b.iter(|| fig4_panel(m, 5, BENCH_SEED, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 5 regeneration bench: constrained deadlines, ECDF/AMC UDP
+//! algorithms vs the EY baselines, m ∈ {2, 4, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_bench::{BENCH_SEED, BENCH_SETS_PER_BUCKET};
+use mcsched_exp::figures::fig5_panel;
+use mcsched_exp::report::render_table;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_constrained");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        let result = fig5_panel(m, BENCH_SETS_PER_BUCKET, BENCH_SEED, 1);
+        println!("\n# Fig. 5 (m = {m}, {BENCH_SETS_PER_BUCKET} sets/bucket)");
+        println!("{}", render_table(&result));
+        group.bench_with_input(BenchmarkId::new("panel", m), &m, |b, &m| {
+            b.iter(|| fig5_panel(m, 5, BENCH_SEED, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

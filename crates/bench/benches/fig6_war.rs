@@ -1,0 +1,29 @@
+//! Fig. 6 regeneration bench: weighted acceptance ratio vs P_H for
+//! m ∈ {2, 4} — panel (a) implicit/EDF-VD, panel (b) constrained/AMC+ECDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsched_bench::BENCH_SEED;
+use mcsched_exp::figures::{fig6a, fig6b, render_war_table};
+
+fn bench_fig6(c: &mut Criterion) {
+    let sets = 15; // 5 P_H values × 2 m values × full bucket sweep each
+    let a = fig6a(sets, BENCH_SEED, 1);
+    println!("\n# Fig. 6(a) WAR vs P_H (implicit, EDF-VD, {sets} sets/bucket)");
+    println!("{}", render_war_table(&a));
+    let b = fig6b(sets, BENCH_SEED, 1);
+    println!("\n# Fig. 6(b) WAR vs P_H (constrained, {sets} sets/bucket)");
+    println!("{}", render_war_table(&b));
+
+    let mut group = c.benchmark_group("fig6_war");
+    group.sample_size(10);
+    group.bench_function("fig6a_point", |bench| {
+        bench.iter(|| fig6a(2, BENCH_SEED, 1));
+    });
+    group.bench_function("fig6b_point", |bench| {
+        bench.iter(|| fig6b(2, BENCH_SEED, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmarks of the partitioning strategies (Algorithm 1 and the
+//! baselines) over the same task sets, m ∈ {2, 4, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_analysis::EdfVd;
+use mcsched_bench::{fixture_sets, midload_point};
+use mcsched_core::{presets, MultiprocessorTest, PartitionedAlgorithm};
+use mcsched_gen::DeadlineModel;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    for m in [2usize, 4, 8] {
+        let sets = fixture_sets(m, midload_point(), DeadlineModel::Implicit, 16);
+        for strategy in presets::all() {
+            let name = strategy.name().to_owned();
+            let algo = PartitionedAlgorithm::new(strategy, EdfVd::new());
+            group.bench_with_input(
+                BenchmarkId::new(name, m),
+                &(algo, sets.clone()),
+                |b, (algo, sets)| {
+                    b.iter(|| {
+                        sets.iter()
+                            .filter(|ts| algo.accepts(std::hint::black_box(ts), m))
+                            .count()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

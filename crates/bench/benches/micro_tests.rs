@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the uniprocessor schedulability tests on
+//! generator-shaped task sets (the inner loop of every sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, SchedulabilityTest};
+use mcsched_bench::{fixture_sets, midload_point};
+use mcsched_gen::DeadlineModel;
+
+fn bench_tests(c: &mut Criterion) {
+    let sets = fixture_sets(1, midload_point(), DeadlineModel::Implicit, 32);
+    let constrained = fixture_sets(1, midload_point(), DeadlineModel::Constrained, 32);
+    let mut group = c.benchmark_group("uniprocessor_tests");
+    let tests: Vec<(&str, Box<dyn SchedulabilityTest>)> = vec![
+        ("EDF-VD", Box::new(EdfVd::new())),
+        ("EY", Box::new(Ey::new())),
+        ("ECDF", Box::new(Ecdf::new())),
+        ("AMC-rtb", Box::new(AmcRtb::new())),
+        ("AMC-max", Box::new(AmcMax::new())),
+    ];
+    for (name, test) in &tests {
+        group.bench_with_input(BenchmarkId::new("implicit", name), test, |b, test| {
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| test.is_schedulable(std::hint::black_box(ts)))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("constrained", name), test, |b, test| {
+            b.iter(|| {
+                constrained
+                    .iter()
+                    .filter(|ts| test.is_schedulable(std::hint::black_box(ts)))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! # mcsched-bench
+//!
+//! Shared fixtures for the criterion benchmarks that regenerate the
+//! paper's figures (reduced sample sizes — the full-scale regeneration
+//! lives in the `mcexp` binary of `mcsched-exp`) and micro-benchmark the
+//! schedulability tests and partitioners.
+//!
+//! Each `benches/figN_*.rs` target measures the wall-clock cost of the
+//! corresponding sweep *and* prints the resulting series, so
+//! `cargo bench` reproduces the same rows the paper reports (at bench
+//! scale).
+
+use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
+use mcsched_model::TaskSet;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Sets per `UB` bucket used by the figure benches (full runs use 1000).
+pub const BENCH_SETS_PER_BUCKET: usize = 40;
+
+/// The fixed seed all benches share.
+pub const BENCH_SEED: u64 = 2017;
+
+/// A deterministic batch of generated task sets at one grid point.
+pub fn fixture_sets(
+    m: usize,
+    point: GridPoint,
+    deadlines: DeadlineModel,
+    count: usize,
+) -> Vec<TaskSet> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let spec = TaskSetSpec::paper_defaults(m, point, deadlines);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0;
+    while out.len() < count && guard < count * 20 {
+        guard += 1;
+        if let Ok(ts) = spec.generate(&mut rng) {
+            out.push(ts);
+        }
+    }
+    out
+}
+
+/// The mid-load grid point used by the micro-benches (interesting but not
+/// degenerate: roughly half the sets are schedulable there).
+pub fn midload_point() -> GridPoint {
+    GridPoint {
+        u_hh: 0.7,
+        u_hl: 0.35,
+        u_ll: 0.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = fixture_sets(2, midload_point(), DeadlineModel::Implicit, 5);
+        let b = fixture_sets(2, midload_point(), DeadlineModel::Implicit, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Ablation studies for the UDP design choices (DESIGN.md per-experiment
+//! index, "Ablations" row).
+//!
+//! Questions answered:
+//!
+//! 1. **Metric** — does worst-fit on `U_H^H − U_H^L` beat worst-fit on
+//!    `U_H^H` alone (CA-Wu-F) or on the low-mode load?
+//! 2. **Sorting** — how much of UDP's gain comes from decreasing-utilization
+//!    ordering (CA-UDP vs CA-UDP(nosort))?
+//! 3. **Fit direction** — worst-fit vs best-fit on the same metric.
+//! 4. **CA vs CU** — criticality-aware vs -unaware ordering.
+//! 5. **AMC variant** — AMC-max vs AMC-rtb under CU-UDP.
+//!
+//! Each ablation reports the weighted acceptance ratio (WAR) of every
+//! variant over the Fig. 3 workload, so a single number summarises each
+//! design decision.
+
+use crate::algorithms::{ablation_lineup, amc_ablation_lineup};
+use crate::sweep::{acceptance_sweep, SweepConfig};
+use mcsched_gen::DeadlineModel;
+use serde::{Deserialize, Serialize};
+
+/// The WAR of one algorithm variant in an ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant name.
+    pub algorithm: String,
+    /// Weighted acceptance ratio on the ablation workload.
+    pub war: f64,
+}
+
+/// Runs the strategy ablation (metric / sorting / fit direction / CA-CU)
+/// on the Fig. 3 workload for the given `m`.
+pub fn strategy_ablation(
+    m: usize,
+    sets_per_bucket: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<AblationRow> {
+    let cfg =
+        SweepConfig::paper(m, DeadlineModel::Implicit, sets_per_bucket, seed).with_threads(threads);
+    let result = acceptance_sweep(&cfg, &ablation_lineup());
+    result
+        .curves
+        .iter()
+        .map(|c| AblationRow {
+            algorithm: c.algorithm.clone(),
+            war: c.weighted_acceptance_ratio(),
+        })
+        .collect()
+}
+
+/// Runs the AMC-max vs AMC-rtb ablation on the constrained-deadline
+/// workload.
+pub fn amc_ablation(
+    m: usize,
+    sets_per_bucket: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<AblationRow> {
+    let cfg = SweepConfig::paper(m, DeadlineModel::Constrained, sets_per_bucket, seed)
+        .with_threads(threads);
+    let result = acceptance_sweep(&cfg, &amc_ablation_lineup());
+    result
+        .curves
+        .iter()
+        .map(|c| AblationRow {
+            algorithm: c.algorithm.clone(),
+            war: c.weighted_acceptance_ratio(),
+        })
+        .collect()
+}
+
+/// Renders ablation rows as a markdown table, best first.
+pub fn render_ablation(title: &str, mut rows: Vec<AblationRow>) -> String {
+    rows.sort_by(|a, b| b.war.partial_cmp(&a.war).expect("finite"));
+    let mut out = format!("| {title} | WAR |\n|----|-----|\n");
+    for r in rows {
+        out.push_str(&format!("| {} | {:.4} |\n", r.algorithm, r.war));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_ablation_smoke() {
+        let rows = strategy_ablation(2, 4, 5, 2);
+        assert!(rows.len() >= 6);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.war)));
+        assert!(rows.iter().any(|r| r.algorithm == "CA-UDP-EDF-VD"));
+    }
+
+    #[test]
+    fn amc_ablation_dominance() {
+        let rows = amc_ablation(2, 6, 9, 2);
+        let war = |name: &str| {
+            rows.iter()
+                .find(|r| r.algorithm.contains(name))
+                .map(|r| r.war)
+                .unwrap()
+        };
+        // AMC-max dominates AMC-rtb, so its WAR can never be lower.
+        assert!(war("max") >= war("rtb") - 1e-9);
+    }
+
+    #[test]
+    fn render_sorts_best_first() {
+        let rows = vec![
+            AblationRow {
+                algorithm: "weak".into(),
+                war: 0.3,
+            },
+            AblationRow {
+                algorithm: "strong".into(),
+                war: 0.9,
+            },
+        ];
+        let t = render_ablation("variant", rows);
+        let strong_pos = t.find("strong").unwrap();
+        let weak_pos = t.find("weak").unwrap();
+        assert!(strong_pos < weak_pos);
+    }
+}

@@ -1,0 +1,145 @@
+//! Named algorithm line-ups for each figure.
+
+use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey};
+use mcsched_core::{presets, MultiprocessorTest, PartitionedAlgorithm};
+
+/// A boxed, thread-shareable partitioned algorithm.
+pub type AlgoBox = Box<dyn MultiprocessorTest + Send + Sync>;
+
+/// Fig. 3 line-up (implicit deadlines, all with the EDF-VD test, all with
+/// the 8/3 speed-up bound): CA-UDP, CU-UDP, CA(nosort)-F-F.
+pub fn fig3_lineup() -> Vec<AlgoBox> {
+    vec![
+        Box::new(PartitionedAlgorithm::new(presets::ca_udp(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(
+            presets::ca_nosort_f_f(),
+            EdfVd::new(),
+        )),
+    ]
+}
+
+/// Fig. 4 / Fig. 5 line-up (no speed-up bound): the UDP strategies under
+/// ECDF and AMC against the EY-based baselines. The paper plots only the
+/// CU variants "for clarity of presentation"; we include CA-UDP too since
+/// the text discusses it.
+pub fn fig4_lineup() -> Vec<AlgoBox> {
+    vec![
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), Ecdf::new())),
+        Box::new(
+            PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new()).with_name("CU-UDP-AMC"),
+        ),
+        Box::new(PartitionedAlgorithm::new(presets::ca_udp(), Ecdf::new())),
+        Box::new(
+            PartitionedAlgorithm::new(presets::ca_udp(), AmcMax::new()).with_name("CA-UDP-AMC"),
+        ),
+        Box::new(PartitionedAlgorithm::new(presets::eca_wu_f(), Ey::new())),
+        Box::new(PartitionedAlgorithm::new(presets::ca_f_f(), Ey::new())),
+    ]
+}
+
+/// Fig. 6(a) line-up: the EDF-VD algorithms of Fig. 3.
+pub fn fig6a_lineup() -> Vec<AlgoBox> {
+    fig3_lineup()
+}
+
+/// Fig. 6(b) line-up: CU-UDP under AMC and ECDF plus the EY baselines
+/// (constrained deadlines).
+pub fn fig6b_lineup() -> Vec<AlgoBox> {
+    vec![
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), Ecdf::new())),
+        Box::new(
+            PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new()).with_name("CU-UDP-AMC"),
+        ),
+        Box::new(
+            PartitionedAlgorithm::new(presets::ca_udp(), AmcMax::new()).with_name("CA-UDP-AMC"),
+        ),
+        Box::new(PartitionedAlgorithm::new(presets::eca_wu_f(), Ey::new())),
+        Box::new(PartitionedAlgorithm::new(presets::ca_f_f(), Ey::new())),
+    ]
+}
+
+/// Ablation line-up: isolates each design decision of the UDP strategies.
+pub fn ablation_lineup() -> Vec<AlgoBox> {
+    use mcsched_core::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy};
+    let wf = |metric| FitRule::WorstFit(metric);
+    let udp_unsorted = PartitionStrategy::builder("CA-UDP(nosort)")
+        .order(AllocationOrder::CriticalityAware { sorted: false })
+        .hc_fit(wf(BalanceMetric::UtilizationDifference))
+        .lc_fit(FitRule::FirstFit)
+        .build();
+    let udp_bestfit = PartitionStrategy::builder("CA-UDP(bestfit)")
+        .order(AllocationOrder::CriticalityAware { sorted: true })
+        .hc_fit(FitRule::BestFit(BalanceMetric::UtilizationDifference))
+        .lc_fit(FitRule::FirstFit)
+        .build();
+    let ca_wf_lo = PartitionStrategy::builder("CA-WF(Ulo)")
+        .order(AllocationOrder::CriticalityAware { sorted: true })
+        .hc_fit(wf(BalanceMetric::LoModeLoad))
+        .lc_fit(FitRule::FirstFit)
+        .build();
+    vec![
+        // The full UDP strategies.
+        Box::new(PartitionedAlgorithm::new(presets::ca_udp(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new())),
+        // Metric ablation: worst-fit on U_H^H instead of the difference.
+        Box::new(PartitionedAlgorithm::new(presets::ca_wu_f(), EdfVd::new())),
+        // Metric ablation: worst-fit on the low-mode load.
+        Box::new(PartitionedAlgorithm::new(ca_wf_lo, EdfVd::new())),
+        // Sorting ablation.
+        Box::new(PartitionedAlgorithm::new(udp_unsorted, EdfVd::new())),
+        // Fit-direction ablation.
+        Box::new(PartitionedAlgorithm::new(udp_bestfit, EdfVd::new())),
+        // Plain first-fit baselines.
+        Box::new(PartitionedAlgorithm::new(presets::ca_f_f(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(
+            presets::ca_nosort_f_f(),
+            EdfVd::new(),
+        )),
+    ]
+}
+
+/// AMC-variant ablation: AMC-max vs AMC-rtb under the CU-UDP strategy.
+pub fn amc_ablation_lineup() -> Vec<AlgoBox> {
+    vec![
+        Box::new(
+            PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new()).with_name("CU-UDP-AMC-max"),
+        ),
+        Box::new(
+            PartitionedAlgorithm::new(presets::cu_udp(), AmcRtb::new()).with_name("CU-UDP-AMC-rtb"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_have_expected_names() {
+        let names: Vec<String> = fig3_lineup().iter().map(|a| a.name().to_owned()).collect();
+        assert!(names.iter().any(|n| n == "CA-UDP-EDF-VD"));
+        assert!(names.iter().any(|n| n == "CU-UDP-EDF-VD"));
+        assert!(names.iter().any(|n| n == "CA(nosort)-F-F-EDF-VD"));
+    }
+
+    #[test]
+    fn fig4_contains_paper_algorithms() {
+        let l = fig4_lineup();
+        let names: Vec<String> = l.iter().map(|a| a.name().to_owned()).collect();
+        for expected in ["CU-UDP-ECDF", "CU-UDP-AMC", "ECA-Wu-F-EY", "CA-F-F-EY"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "{expected} missing from {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_lineups_nonempty() {
+        assert!(ablation_lineup().len() >= 6);
+        assert_eq!(amc_ablation_lineup().len(), 2);
+        assert_eq!(fig6a_lineup().len(), 3);
+        assert!(fig6b_lineup().len() >= 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mcsched-exp
+//!
+//! The experiment harness that regenerates every figure of the DATE 2017
+//! evaluation (§IV):
+//!
+//! * **Fig. 3** — acceptance ratio vs total normalized utilization `UB`,
+//!   implicit deadlines, EDF-VD test: CA-UDP / CU-UDP vs CA(nosort)-F-F,
+//!   for `m ∈ {2, 4, 8}`.
+//! * **Fig. 4** — implicit deadlines, no speed-up bound: CU-UDP-ECDF and
+//!   CU-UDP-AMC vs ECA-Wu-F-EY and CA-F-F-EY.
+//! * **Fig. 5** — the same comparison for constrained deadlines.
+//! * **Fig. 6** — weighted acceptance ratio vs the HC-task fraction `P_H`.
+//! * **Headline** — the "improvement by as much as X%" numbers quoted in
+//!   the paper's abstract and §IV, derived from the Fig. 3–5 sweeps.
+//! * **Ablations** — the design choices DESIGN.md calls out (worst-fit
+//!   metric, sorting, CA vs CU, AMC-max vs AMC-rtb).
+//!
+//! Every sweep is deterministic under a seed and paired: all algorithms
+//! judge the *same* generated task sets. Results are printed as
+//! markdown-ish tables and optionally written as CSV.
+//!
+//! The binary `mcexp` drives everything:
+//!
+//! ```text
+//! mcexp --fig 3 --sets 200 --seed 42 --out results/
+//! mcexp --headline --sets 500
+//! mcexp --ablation
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod algorithms;
+pub mod figures;
+pub mod headline;
+pub mod isolation;
+pub mod report;
+pub mod sweep;
+
+pub use algorithms::{fig3_lineup, fig4_lineup, AlgoBox};
+pub use sweep::{AcceptanceCurve, SweepConfig, SweepResult};

@@ -1,0 +1,206 @@
+//! `mcexp` — regenerate the figures of the DATE 2017 UDP partitioning
+//! paper.
+//!
+//! ```text
+//! mcexp --fig 3 [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
+//! mcexp --fig 4 | --fig 5 | --fig 6a | --fig 6b
+//! mcexp --headline [--sets N]
+//! mcexp --ablation [--m M]
+//! mcexp --all            # everything, at the configured --sets
+//! ```
+//!
+//! Defaults: `--sets 200` (the paper uses 1000; raise it for final runs),
+//! `--seed 42`, `--threads` = available parallelism.
+
+use mcsched_exp::ablation::{amc_ablation, render_ablation, strategy_ablation};
+use mcsched_exp::figures::{
+    fig3_panel, fig4_panel, fig5_panel, fig6a, fig6b, render_war_table, FIGURE_M,
+};
+use mcsched_exp::headline::{headlines, render_headlines};
+use mcsched_exp::isolation::{isolation_experiment, render_isolation};
+use mcsched_exp::report::{render_table, write_csv};
+use mcsched_exp::sweep::default_threads;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+struct Args {
+    fig: Option<String>,
+    m_values: Vec<usize>,
+    sets: usize,
+    seed: u64,
+    threads: usize,
+    out: Option<PathBuf>,
+    headline: bool,
+    ablation: bool,
+    isolation: bool,
+    all: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fig: None,
+        m_values: FIGURE_M.to_vec(),
+        sets: 200,
+        seed: 42,
+        threads: default_threads(),
+        out: None,
+        headline: false,
+        ablation: false,
+        isolation: false,
+        all: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fig" => args.fig = Some(value(&mut i)?),
+            "--m" => {
+                args.m_values = value(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --m list: {e}"))?;
+            }
+            "--sets" => {
+                args.sets = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --sets: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
+            "--headline" => args.headline = true,
+            "--ablation" => args.ablation = true,
+            "--isolation" => args.isolation = true,
+            "--all" => args.all = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "mcexp — regenerate the DATE 2017 UDP partitioning figures
+usage: mcexp [--fig 3|4|5|6a|6b] [--headline] [--ablation] [--isolation] [--all]
+             [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]";
+
+fn run_panel_figure(
+    fig: &str,
+    args: &Args,
+    panel: fn(usize, usize, u64, usize) -> mcsched_exp::SweepResult,
+) {
+    for &m in &args.m_values {
+        eprintln!("[mcexp] {fig} m={m} sets/bucket={} ...", args.sets);
+        let result = panel(m, args.sets, args.seed, args.threads);
+        println!("\n## {fig} (m = {m})\n");
+        println!("{}", render_table(&result));
+        if let Some(dir) = &args.out {
+            let path = dir.join(format!("{}_m{}.csv", fig.to_lowercase(), m));
+            if let Err(e) = write_csv(&result, &path) {
+                eprintln!("[mcexp] failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("[mcexp] wrote {}", path.display());
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut did_something = false;
+    let figs: Vec<String> = if args.all {
+        vec!["3", "4", "5", "6a", "6b"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    } else {
+        args.fig.clone().into_iter().collect()
+    };
+
+    for fig in &figs {
+        did_something = true;
+        match fig.as_str() {
+            "3" => run_panel_figure("Fig3", &args, fig3_panel),
+            "4" => run_panel_figure("Fig4", &args, fig4_panel),
+            "5" => run_panel_figure("Fig5", &args, fig5_panel),
+            "6a" => {
+                eprintln!("[mcexp] Fig6a sets/bucket={} ...", args.sets);
+                let points = fig6a(args.sets, args.seed, args.threads);
+                println!("\n## Fig6a (WAR vs P_H, implicit, EDF-VD)\n");
+                println!("{}", render_war_table(&points));
+            }
+            "6b" => {
+                eprintln!("[mcexp] Fig6b sets/bucket={} ...", args.sets);
+                let points = fig6b(args.sets, args.seed, args.threads);
+                println!("\n## Fig6b (WAR vs P_H, constrained, AMC/ECDF)\n");
+                println!("{}", render_war_table(&points));
+            }
+            other => {
+                eprintln!("error: unknown figure {other}\n{HELP}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.headline || args.all {
+        did_something = true;
+        eprintln!("[mcexp] headline numbers (sets/bucket={}) ...", args.sets);
+        let hs = headlines(args.sets, args.seed, args.threads);
+        println!("\n## Headline improvements (paper §IV)\n");
+        println!("{}", render_headlines(&hs));
+    }
+
+    if args.ablation || args.all {
+        did_something = true;
+        for &m in &args.m_values {
+            eprintln!("[mcexp] strategy ablation m={m} ...");
+            let rows = strategy_ablation(m, args.sets, args.seed, args.threads);
+            println!("\n## Strategy ablation (m = {m}, implicit, EDF-VD)\n");
+            println!("{}", render_ablation("strategy", rows));
+        }
+        let m = args.m_values.first().copied().unwrap_or(2);
+        eprintln!("[mcexp] AMC ablation m={m} ...");
+        let rows = amc_ablation(m, args.sets, args.seed, args.threads);
+        println!("\n## AMC variant ablation (m = {m}, constrained)\n");
+        println!("{}", render_ablation("AMC variant", rows));
+    }
+
+    if args.isolation || args.all {
+        did_something = true;
+        for &m in &args.m_values {
+            eprintln!("[mcexp] isolation experiment m={m} ...");
+            let r = isolation_experiment(m, args.sets.min(100), args.seed, 0.25, 20_000);
+            println!("\n## Mode-switch isolation (m = {m}, 25% overruns)\n");
+            println!("{}", render_isolation(&r));
+        }
+    }
+
+    if !did_something {
+        println!("{}", HELP);
+    }
+}

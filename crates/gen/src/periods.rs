@@ -1,0 +1,93 @@
+//! Log-uniform period sampling (Emberson, Stafford & Davis, WATERS 2010).
+
+use rand::{Rng, RngExt};
+
+/// Draws an integer period log-uniformly from `[lo, hi]`.
+///
+/// Log-uniform sampling gives each order of magnitude equal probability
+/// mass, which matches the period spreads observed in real-time systems
+/// and is what the DATE 2017 evaluation uses (`Ti ∈ [10, 500]`).
+///
+/// # Panics
+///
+/// Panics if `lo == 0` or `lo > hi`.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_gen::log_uniform_period;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// for _ in 0..100 {
+///     let t = log_uniform_period(&mut rng, 10, 500);
+///     assert!((10..=500).contains(&t));
+/// }
+/// ```
+pub fn log_uniform_period(rng: &mut impl Rng, lo: u64, hi: u64) -> u64 {
+    assert!(lo > 0, "period lower bound must be positive");
+    assert!(lo <= hi, "period range must be non-empty");
+    if lo == hi {
+        return lo;
+    }
+    let (ln_lo, ln_hi) = ((lo as f64).ln(), ((hi + 1) as f64).ln());
+    let x = rng.random_range(ln_lo..ln_hi).exp();
+    // Floor and clamp: exp can land a hair outside through rounding.
+    (x as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let t = log_uniform_period(&mut rng, 10, 500);
+            assert!((10..=500).contains(&t));
+        }
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(log_uniform_period(&mut rng, 42, 42), 42);
+    }
+
+    #[test]
+    fn log_uniform_shape() {
+        // Equal mass per decade-ish band: count of [10,70) vs [70,500)
+        // should be roughly equal (ln 70/10 ≈ ln 500/70 ≈ 1.95).
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut low, mut high) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            let t = log_uniform_period(&mut rng, 10, 500);
+            if t < 70 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        let ratio = f64::from(low) / f64::from(high);
+        assert!(
+            (0.85..1.20).contains(&ratio),
+            "expected balanced decades, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period lower bound")]
+    fn zero_lower_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = log_uniform_period(&mut rng, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "period range")]
+    fn inverted_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = log_uniform_period(&mut rng, 10, 5);
+    }
+}

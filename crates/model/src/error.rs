@@ -1,0 +1,113 @@
+//! Error types for model construction.
+
+use crate::{TaskId, Time};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while constructing a [`Task`](crate::Task) or
+/// [`TaskSet`](crate::TaskSet) that would violate the dual-criticality
+/// sporadic model invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The period `Ti` must be positive.
+    ZeroPeriod {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// The low-mode budget `C^L_i` must be positive.
+    ZeroWcet {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// `C^H_i < C^L_i` violates the Vestal model assumption `C^L ≤ C^H`.
+    WcetOrder {
+        /// Offending task.
+        task: TaskId,
+        /// Low-mode budget.
+        wcet_lo: Time,
+        /// High-mode budget.
+        wcet_hi: Time,
+    },
+    /// The deadline must satisfy `C^χ_i ≤ Di ≤ Ti` (constrained deadlines).
+    DeadlineOutOfRange {
+        /// Offending task.
+        task: TaskId,
+        /// The rejected deadline.
+        deadline: Time,
+        /// The task's period.
+        period: Time,
+    },
+    /// Two tasks in one set share the same identifier.
+    DuplicateTaskId {
+        /// The duplicated identifier.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroPeriod { task } => {
+                write!(f, "task {task} has a zero period")
+            }
+            ModelError::ZeroWcet { task } => {
+                write!(f, "task {task} has a zero low-mode execution budget")
+            }
+            ModelError::WcetOrder {
+                task,
+                wcet_lo,
+                wcet_hi,
+            } => write!(
+                f,
+                "task {task} has C^H = {wcet_hi} smaller than C^L = {wcet_lo}"
+            ),
+            ModelError::DeadlineOutOfRange {
+                task,
+                deadline,
+                period,
+            } => write!(
+                f,
+                "task {task} deadline {deadline} outside [C, T] with T = {period}"
+            ),
+            ModelError::DuplicateTaskId { task } => {
+                write!(f, "duplicate task id {task} in task set")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::ZeroPeriod { task: TaskId(3) };
+        assert!(e.to_string().contains("zero period"));
+        let e = ModelError::WcetOrder {
+            task: TaskId(1),
+            wcet_lo: Time::new(5),
+            wcet_hi: Time::new(2),
+        };
+        assert!(e.to_string().contains("C^H = 2"));
+        let e = ModelError::DeadlineOutOfRange {
+            task: TaskId(0),
+            deadline: Time::new(99),
+            period: Time::new(10),
+        };
+        assert!(e.to_string().contains("deadline 99"));
+        let e = ModelError::DuplicateTaskId { task: TaskId(7) };
+        assert!(e.to_string().contains("duplicate"));
+        let e = ModelError::ZeroWcet { task: TaskId(2) };
+        assert!(e.to_string().contains("zero low-mode"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

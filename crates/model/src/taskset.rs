@@ -1,0 +1,461 @@
+//! Collections of dual-criticality tasks and their system-level statistics.
+
+use crate::{Criticality, ModelError, Task, TaskId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Whether every task in a set has an implicit deadline (`D = T`) or the
+/// set contains constrained deadlines (`D ≤ T`, at least one strict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlineKind {
+    /// All tasks have `Di = Ti`.
+    Implicit,
+    /// All tasks have `Di ≤ Ti` and at least one has `Di < Ti`.
+    Constrained,
+}
+
+impl fmt::Display for DeadlineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineKind::Implicit => write!(f, "implicit"),
+            DeadlineKind::Constrained => write!(f, "constrained"),
+        }
+    }
+}
+
+/// The three system-level utilization sums the paper's analysis revolves
+/// around (unnormalized — divide by `m` for the paper's normalized values):
+///
+/// * `u_ll = Σ_{LC} u^L_i`   (the paper's `U_L^L · m`)
+/// * `u_hl = Σ_{HC} u^L_i`   (the paper's `U_H^L · m`)
+/// * `u_hh = Σ_{HC} u^H_i`   (the paper's `U_H^H · m`)
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::hi(0, 10, 2, 4)?,
+///     Task::lo(1, 10, 5)?,
+/// ])?;
+/// let u = ts.system_utilization();
+/// assert_eq!(u.u_ll, 0.5);
+/// assert_eq!(u.u_hl, 0.2);
+/// assert_eq!(u.u_hh, 0.4);
+/// assert!((u.difference() - 0.2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemUtilization {
+    /// Total low-mode utilization of the LC tasks.
+    pub u_ll: f64,
+    /// Total low-mode utilization of the HC tasks.
+    pub u_hl: f64,
+    /// Total high-mode utilization of the HC tasks.
+    pub u_hh: f64,
+}
+
+impl SystemUtilization {
+    /// The utilization difference `u_hh − u_hl` — the quantity UDP
+    /// balances across processors.
+    #[inline]
+    pub fn difference(&self) -> f64 {
+        self.u_hh - self.u_hl
+    }
+
+    /// Total low-mode utilization `u_ll + u_hl` (all tasks at `C^L`).
+    #[inline]
+    pub fn lo_mode_total(&self) -> f64 {
+        self.u_ll + self.u_hl
+    }
+
+    /// The paper's total normalized utilization bucket value
+    /// `UB = max(U_H^L + U_L^L, U_H^H)` for a platform of `m` processors.
+    #[inline]
+    pub fn normalized_bound(&self, m: usize) -> f64 {
+        let m = m as f64;
+        ((self.u_hl + self.u_ll) / m).max(self.u_hh / m)
+    }
+}
+
+/// An ordered collection of dual-criticality tasks with unique ids.
+///
+/// `TaskSet` is the unit of work for generators, schedulability tests and
+/// partitioning strategies. It keeps insertion order (partitioning
+/// strategies re-sort copies as needed) and exposes the system-level
+/// utilization statistics of the paper's §II.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet, Criticality};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let mut ts = TaskSet::new();
+/// ts.try_push(Task::hi(0, 10, 1, 2)?)?;
+/// ts.try_push(Task::lo(1, 5, 1)?)?;
+///
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.hi_tasks().count(), 1);
+/// assert_eq!(ts.lo_tasks().count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates an empty task set.
+    pub fn new() -> Self {
+        TaskSet { tasks: Vec::new() }
+    }
+
+    /// Creates an empty task set with room for `capacity` tasks.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TaskSet {
+            tasks: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a task set from tasks, checking id uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateTaskId`] if two tasks share an id.
+    pub fn try_from_tasks(tasks: impl IntoIterator<Item = Task>) -> Result<Self, ModelError> {
+        let mut ts = TaskSet::new();
+        for t in tasks {
+            ts.try_push(t)?;
+        }
+        Ok(ts)
+    }
+
+    /// Appends a task, checking id uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateTaskId`] if the id is already present.
+    pub fn try_push(&mut self, task: Task) -> Result<(), ModelError> {
+        if self.tasks.iter().any(|t| t.id() == task.id()) {
+            return Err(ModelError::DuplicateTaskId { task: task.id() });
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Appends a task **without** the duplicate-id check.
+    ///
+    /// Partitioning inner loops use this after the ids have been validated
+    /// once at generation time.
+    #[inline]
+    pub fn push_unchecked(&mut self, task: Task) {
+        self.tasks.push(task);
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the set has no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over the tasks in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// The tasks as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Looks a task up by id.
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id() == id)
+    }
+
+    /// Iterates over the high-criticality tasks (`τH`).
+    pub fn hi_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| t.criticality().is_high())
+    }
+
+    /// Iterates over the low-criticality tasks (`τL`).
+    pub fn lo_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| t.criticality().is_low())
+    }
+
+    /// Splits into `(τH, τL)` copies, preserving relative order.
+    pub fn split_by_criticality(&self) -> (TaskSet, TaskSet) {
+        let (hi, lo): (Vec<Task>, Vec<Task>) = self
+            .tasks
+            .iter()
+            .copied()
+            .partition(|t| t.criticality().is_high());
+        (TaskSet { tasks: hi }, TaskSet { tasks: lo })
+    }
+
+    /// The system-level utilization sums (`Σ u^L` over LC, `Σ u^L` over HC,
+    /// `Σ u^H` over HC) — see [`SystemUtilization`].
+    pub fn system_utilization(&self) -> SystemUtilization {
+        let mut u = SystemUtilization::default();
+        for t in &self.tasks {
+            match t.criticality() {
+                Criticality::Low => u.u_ll += t.utilization_lo(),
+                Criticality::High => {
+                    u.u_hl += t.utilization_lo();
+                    u.u_hh += t.utilization_hi();
+                }
+            }
+        }
+        u
+    }
+
+    /// Total low-mode utilization of **all** tasks (`Σ u^L_i`).
+    pub fn utilization_lo_total(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization_lo).sum()
+    }
+
+    /// Total high-mode utilization of the HC tasks (`Σ_{HC} u^H_i`).
+    pub fn utilization_hi_total(&self) -> f64 {
+        self.hi_tasks().map(Task::utilization_hi).sum()
+    }
+
+    /// The utilization difference of this set:
+    /// `Σ_{HC} u^H_i − Σ_{HC} u^L_i`.
+    ///
+    /// This is the quantity the UDP strategies balance across processors
+    /// (`U_H^H(φk) − U_H^L(φk)` in the paper).
+    pub fn utilization_difference(&self) -> f64 {
+        self.hi_tasks().map(Task::utilization_difference).sum()
+    }
+
+    /// Whether all deadlines are implicit or some are constrained.
+    pub fn deadline_kind(&self) -> DeadlineKind {
+        if self.tasks.iter().all(Task::is_implicit_deadline) {
+            DeadlineKind::Implicit
+        } else {
+            DeadlineKind::Constrained
+        }
+    }
+
+    /// The largest period in the set, or zero when empty.
+    pub fn max_period(&self) -> Time {
+        self.tasks
+            .iter()
+            .map(Task::period)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// The largest deadline in the set, or zero when empty.
+    pub fn max_deadline(&self) -> Time {
+        self.tasks
+            .iter()
+            .map(Task::deadline)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Checks the id-uniqueness invariant; `Ok` if all ids are distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateTaskId`] naming the first repeated id.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let mut seen = HashSet::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            if !seen.insert(t.id()) {
+                return Err(ModelError::DuplicateTaskId { task: t.id() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the set and returns the underlying tasks.
+    pub fn into_tasks(self) -> Vec<Task> {
+        self.tasks
+    }
+}
+
+impl fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TaskSet ({} tasks):", self.tasks.len())?;
+        for t in &self.tasks {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl IntoIterator for TaskSet {
+    type Item = Task;
+    type IntoIter = std::vec::IntoIter<Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.into_iter()
+    }
+}
+
+/// Collects tasks **without** the duplicate-id check (use
+/// [`TaskSet::try_from_tasks`] for checked construction).
+impl FromIterator<Task> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        TaskSet {
+            tasks: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Extends **without** the duplicate-id check.
+impl Extend<Task> for TaskSet {
+    fn extend<I: IntoIterator<Item = Task>>(&mut self, iter: I) {
+        self.tasks.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskSet {
+        TaskSet::try_from_tasks(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::hi(1, 20, 2, 8).unwrap(),
+            Task::lo(2, 10, 3).unwrap(),
+            Task::lo(3, 40, 10).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let ts = sample();
+        assert_eq!(ts.len(), 4);
+        assert!(!ts.is_empty());
+        assert!(TaskSet::new().is_empty());
+        assert_eq!(TaskSet::with_capacity(8).len(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut ts = TaskSet::new();
+        ts.try_push(Task::lo(0, 10, 1).unwrap()).unwrap();
+        assert_eq!(
+            ts.try_push(Task::lo(0, 20, 1).unwrap()),
+            Err(ModelError::DuplicateTaskId { task: TaskId(0) })
+        );
+    }
+
+    #[test]
+    fn validate_catches_unchecked_duplicates() {
+        let mut ts = TaskSet::new();
+        ts.push_unchecked(Task::lo(0, 10, 1).unwrap());
+        ts.push_unchecked(Task::lo(0, 20, 1).unwrap());
+        assert!(ts.validate().is_err());
+        let ok = sample();
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn criticality_filters() {
+        let ts = sample();
+        assert_eq!(ts.hi_tasks().count(), 2);
+        assert_eq!(ts.lo_tasks().count(), 2);
+        let (hi, lo) = ts.split_by_criticality();
+        assert_eq!(hi.len(), 2);
+        assert_eq!(lo.len(), 2);
+        assert!(hi.iter().all(|t| t.criticality().is_high()));
+        assert!(lo.iter().all(|t| t.criticality().is_low()));
+    }
+
+    #[test]
+    fn system_utilization_sums() {
+        let ts = sample();
+        let u = ts.system_utilization();
+        // HC: 2/10 + 2/20 = 0.3 low; 4/10 + 8/20 = 0.8 high.
+        // LC: 3/10 + 10/40 = 0.55.
+        assert!((u.u_hl - 0.3).abs() < 1e-12);
+        assert!((u.u_hh - 0.8).abs() < 1e-12);
+        assert!((u.u_ll - 0.55).abs() < 1e-12);
+        assert!((u.difference() - 0.5).abs() < 1e-12);
+        assert!((u.lo_mode_total() - 0.85).abs() < 1e-12);
+        assert!((ts.utilization_difference() - 0.5).abs() < 1e-12);
+        assert!((ts.utilization_lo_total() - 0.85).abs() < 1e-12);
+        assert!((ts.utilization_hi_total() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_bound_matches_paper_definition() {
+        let ts = sample();
+        let u = ts.system_utilization();
+        // UB = max(U_H^L + U_L^L, U_H^H) normalized by m = 2.
+        let ub = u.normalized_bound(2);
+        assert!((ub - (0.85f64 / 2.0).max(0.8 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_kind_detection() {
+        let ts = sample();
+        assert_eq!(ts.deadline_kind(), DeadlineKind::Implicit);
+        let mut constrained = sample();
+        constrained.push_unchecked(Task::hi_constrained(9, 100, 5, 10, 50).unwrap());
+        assert_eq!(constrained.deadline_kind(), DeadlineKind::Constrained);
+        assert_eq!(DeadlineKind::Implicit.to_string(), "implicit");
+        assert_eq!(DeadlineKind::Constrained.to_string(), "constrained");
+    }
+
+    #[test]
+    fn lookup_and_maxima() {
+        let ts = sample();
+        assert_eq!(ts.get(TaskId(1)).unwrap().period(), Time::new(20));
+        assert!(ts.get(TaskId(42)).is_none());
+        assert_eq!(ts.max_period(), Time::new(40));
+        assert_eq!(ts.max_deadline(), Time::new(40));
+        assert_eq!(TaskSet::new().max_period(), Time::ZERO);
+    }
+
+    #[test]
+    fn iteration_traits() {
+        let ts = sample();
+        let ids: Vec<u32> = (&ts).into_iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let collected: TaskSet = ts.clone().into_iter().collect();
+        assert_eq!(collected, ts);
+        let mut ext = TaskSet::new();
+        ext.extend(ts.clone().into_tasks());
+        assert_eq!(ext.len(), 4);
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let s = sample().to_string();
+        assert!(s.contains("TaskSet (4 tasks):"));
+        assert!(s.contains("τ0"));
+        assert!(s.contains("τ3"));
+    }
+
+    #[test]
+    fn empty_set_statistics() {
+        let ts = TaskSet::new();
+        let u = ts.system_utilization();
+        assert_eq!(u.u_ll, 0.0);
+        assert_eq!(u.u_hl, 0.0);
+        assert_eq!(u.u_hh, 0.0);
+        assert_eq!(ts.utilization_difference(), 0.0);
+        assert_eq!(ts.deadline_kind(), DeadlineKind::Implicit);
+    }
+}

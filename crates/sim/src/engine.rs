@@ -1,0 +1,475 @@
+//! The uniprocessor discrete-event engine.
+
+use crate::policy::Policy;
+use crate::report::{MissRecord, SimReport, TraceEvent};
+use crate::scenario::Scenario;
+use mcsched_model::{Criticality, TaskSet, Time};
+
+/// Processor execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Lo,
+    Hi,
+}
+
+/// A released, not-yet-finished job.
+#[derive(Debug, Clone, Copy)]
+struct ActiveJob {
+    task_idx: usize,
+    release: Time,
+    abs_deadline: Time,
+    abs_vdeadline: Time,
+    demand: Time,
+    executed: Time,
+}
+
+impl ActiveJob {
+    fn remaining(&self) -> Time {
+        self.demand - self.executed
+    }
+}
+
+/// A preemptive uniprocessor simulator for one task set under one
+/// [`Policy`].
+///
+/// Semantics:
+///
+/// * Jobs are released periodically (plus scenario-controlled sporadic
+///   delay) starting at time 0.
+/// * In low mode the policy's low-mode priority applies (virtual deadlines
+///   for EDF-VD). When a HC job executes `C^L` without signalling
+///   completion, the processor switches to high mode *at that instant*:
+///   all pending LC jobs are discarded, LC releases are suppressed, and
+///   EDF-VD reverts to real deadlines.
+/// * When a high-mode processor idles, it resets to low mode (the standard
+///   idle-instant protocol), and LC releases resume.
+/// * A *required* deadline miss (any job in low mode; HC jobs in high
+///   mode) is recorded and the job is abandoned.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_sim::{Simulator, Policy, Scenario};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 5)?])?;
+/// let report = Simulator::new(&ts, Policy::Edf).run(&Scenario::lo_only(), 100);
+/// assert!(report.is_success());
+/// assert_eq!(report.completed(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    ts: &'a TaskSet,
+    policy: Policy,
+    record_trace: bool,
+    reset_on_idle: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for a task set under a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's per-task tables do not match the task count.
+    pub fn new(ts: &'a TaskSet, policy: Policy) -> Self {
+        match &policy {
+            Policy::EdfVd { virtual_deadlines } => {
+                assert_eq!(
+                    virtual_deadlines.len(),
+                    ts.len(),
+                    "one virtual deadline per task required"
+                );
+            }
+            Policy::FixedPriority { priority_order } => {
+                assert_eq!(
+                    priority_order.len(),
+                    ts.len(),
+                    "priority order must cover every task"
+                );
+            }
+            Policy::Edf => {}
+        }
+        Simulator {
+            ts,
+            policy,
+            record_trace: false,
+            reset_on_idle: true,
+        }
+    }
+
+    /// Enables event-trace recording (off by default; traces grow linearly
+    /// with simulated time).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Disables the high→low reset at idle instants (the processor then
+    /// stays in high mode forever after the first switch).
+    pub fn without_idle_reset(mut self) -> Self {
+        self.reset_on_idle = false;
+        self
+    }
+
+    /// Rank of a job under the current mode: lower is higher priority.
+    fn rank(&self, job: &ActiveJob, mode: Mode) -> (u64, u64) {
+        match &self.policy {
+            Policy::EdfVd { .. } => match mode {
+                Mode::Lo => (job.abs_vdeadline.as_ticks(), job.task_idx as u64),
+                Mode::Hi => (job.abs_deadline.as_ticks(), job.task_idx as u64),
+            },
+            Policy::Edf => (job.abs_deadline.as_ticks(), job.task_idx as u64),
+            Policy::FixedPriority { priority_order } => {
+                let pos = priority_order
+                    .iter()
+                    .position(|&i| i == job.task_idx)
+                    .expect("job's task present in priority order")
+                    as u64;
+                (pos, 0)
+            }
+        }
+    }
+
+    /// Runs the simulation for `horizon` ticks.
+    pub fn run(&self, scenario: &Scenario, horizon: u64) -> SimReport {
+        let horizon = Time::new(horizon);
+        let mut report = SimReport::new(horizon);
+        if self.ts.is_empty() {
+            return report;
+        }
+        let mut sampler = scenario.sampler();
+        let tasks = self.ts.as_slice();
+        let n = tasks.len();
+
+        let virtual_deadline = |idx: usize| -> Time {
+            match &self.policy {
+                Policy::EdfVd { virtual_deadlines } => virtual_deadlines[idx],
+                _ => tasks[idx].deadline(),
+            }
+        };
+
+        // Next earliest release instant per task (with sporadic delay).
+        let mut next_release: Vec<Time> = (0..n)
+            .map(|i| Time::ZERO + sampler.release_delay(&tasks[i]))
+            .collect();
+        let mut jobs: Vec<ActiveJob> = Vec::with_capacity(2 * n);
+        let mut mode = Mode::Lo;
+        let mut t = Time::ZERO;
+
+        while t < horizon {
+            // 1. Releases due at or before t.
+            for (i, task) in tasks.iter().enumerate() {
+                while next_release[i] <= t {
+                    let release = next_release[i];
+                    next_release[i] = release + task.period() + sampler.release_delay(task);
+                    if mode == Mode::Hi && task.criticality() == Criticality::Low {
+                        report.push_event(
+                            self.record_trace,
+                            TraceEvent::Drop {
+                                at: release,
+                                task: task.id(),
+                            },
+                        );
+                        continue;
+                    }
+                    let demand = sampler.demand(task);
+                    jobs.push(ActiveJob {
+                        task_idx: i,
+                        release,
+                        abs_deadline: release + task.deadline(),
+                        abs_vdeadline: release + virtual_deadline(i),
+                        demand,
+                        executed: Time::ZERO,
+                    });
+                    report.push_event(
+                        self.record_trace,
+                        TraceEvent::Release {
+                            at: release,
+                            task: task.id(),
+                        },
+                    );
+                }
+            }
+
+            // 2. Deadline misses at or before t.
+            jobs.retain(|job| {
+                if job.abs_deadline <= t && !job.remaining().is_zero() {
+                    report.push_event(
+                        self.record_trace,
+                        TraceEvent::Miss(MissRecord {
+                            task: tasks[job.task_idx].id(),
+                            release: job.release,
+                            deadline: job.abs_deadline,
+                            criticality: tasks[job.task_idx].criticality(),
+                        }),
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // 3. Pick the highest-priority ready job.
+            let running = jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| self.rank(j, mode))
+                .map(|(idx, _)| idx);
+
+            let Some(running) = running else {
+                // Idle: possibly reset to low mode, then jump to the next
+                // release (or finish).
+                if mode == Mode::Hi && self.reset_on_idle {
+                    mode = Mode::Lo;
+                    report.push_event(self.record_trace, TraceEvent::ModeReset { at: t });
+                }
+                match next_release.iter().copied().min() {
+                    Some(next) if next < horizon => t = next,
+                    _ => break,
+                }
+                continue;
+            };
+
+            // 4. Advance to the next event boundary.
+            let job = jobs[running];
+            let task = &tasks[job.task_idx];
+            let mut delta = job.remaining();
+            if mode == Mode::Lo
+                && task.criticality() == Criticality::High
+                && job.demand > task.wcet_lo()
+                && job.executed < task.wcet_lo()
+            {
+                delta = delta.min(task.wcet_lo() - job.executed);
+            }
+            if let Some(next) = next_release.iter().copied().min() {
+                if next > t {
+                    delta = delta.min(next - t);
+                }
+            }
+            if let Some(dl) = jobs.iter().map(|j| j.abs_deadline).filter(|&d| d > t).min() {
+                delta = delta.min(dl - t);
+            }
+            delta = delta.min(horizon - t);
+            if delta.is_zero() {
+                // Horizon reached exactly.
+                break;
+            }
+            jobs[running].executed += delta;
+            t += delta;
+
+            // 5. Handle the boundary.
+            let job = jobs[running];
+            if job.remaining().is_zero() {
+                report.push_event(
+                    self.record_trace,
+                    TraceEvent::Complete {
+                        at: t,
+                        task: task.id(),
+                    },
+                );
+                jobs.swap_remove(running);
+            } else if mode == Mode::Lo
+                && task.criticality() == Criticality::High
+                && job.executed == task.wcet_lo()
+            {
+                // Budget overrun without completion: mode switch.
+                mode = Mode::Hi;
+                report.push_event(
+                    self.record_trace,
+                    TraceEvent::ModeSwitch {
+                        at: t,
+                        task: task.id(),
+                    },
+                );
+                let record = self.record_trace;
+                jobs.retain(|j| {
+                    if tasks[j.task_idx].criticality() == Criticality::Low {
+                        report.push_event(
+                            record,
+                            TraceEvent::Drop {
+                                at: t,
+                                task: tasks[j.task_idx].id(),
+                            },
+                        );
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_model::Task;
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::try_from_tasks(tasks).unwrap()
+    }
+
+    #[test]
+    fn single_task_periodic_completion() {
+        let ts = set(vec![Task::lo(0, 10, 4).unwrap()]);
+        let r = Simulator::new(&ts, Policy::Edf).run(&Scenario::lo_only(), 100);
+        assert!(r.is_success());
+        assert_eq!(r.released(), 10);
+        assert_eq!(r.completed(), 10);
+        assert_eq!(r.mode_switches(), 0);
+    }
+
+    #[test]
+    fn overloaded_edf_misses() {
+        let ts = set(vec![
+            Task::lo(0, 10, 6).unwrap(),
+            Task::lo(1, 10, 6).unwrap(),
+        ]);
+        let r = Simulator::new(&ts, Policy::Edf).run(&Scenario::lo_only(), 100);
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn mode_switch_drops_lc() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 6).unwrap(),
+            Task::lo(1, 10, 3).unwrap(),
+        ]);
+        let r = Simulator::new(&ts, Policy::edf_vd_scaled(&ts, 0.5))
+            .with_trace()
+            .run(&Scenario::all_hi(), 50);
+        assert!(r.mode_switches() > 0, "HC overruns must trigger switches");
+        assert!(r.dropped() > 0, "LC work must be shed in high mode");
+        assert!(r.is_success(), "misses: {:?}", r.misses());
+        // The trace contains a switch before any drop.
+        let first_switch = r
+            .trace()
+            .iter()
+            .position(|e| matches!(e, TraceEvent::ModeSwitch { .. }))
+            .unwrap();
+        let first_drop = r
+            .trace()
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Drop { .. }))
+            .unwrap();
+        assert!(first_switch < first_drop);
+    }
+
+    #[test]
+    fn idle_reset_restores_lc_service() {
+        let ts = set(vec![
+            Task::hi(0, 20, 2, 4).unwrap(),
+            Task::lo(1, 20, 3).unwrap(),
+        ]);
+        // One overrun then LO forever: first busy interval switches, later
+        // intervals run normally after the reset.
+        let r = Simulator::new(&ts, Policy::edf_vd_scaled(&ts, 0.5))
+            .run(&Scenario::random_overrun(0.2, 3), 400);
+        assert!(r.is_success());
+        if r.mode_switches() > 0 {
+            assert!(r.mode_resets() > 0, "switches must be followed by resets");
+        }
+        // LC jobs complete in the low-mode intervals.
+        assert!(r.completed() > 10);
+    }
+
+    #[test]
+    fn without_idle_reset_stays_high() {
+        let ts = set(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 10, 3).unwrap(),
+        ]);
+        let r = Simulator::new(&ts, Policy::edf_vd_scaled(&ts, 0.5))
+            .without_idle_reset()
+            .run(&Scenario::all_hi(), 200);
+        assert_eq!(r.mode_switches(), 1, "switches once, never resets");
+        assert_eq!(r.mode_resets(), 0);
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn fixed_priority_respects_order() {
+        // τ1 has higher DM priority (D=5); τ0's first job must wait.
+        let ts = set(vec![
+            Task::lo(0, 20, 6).unwrap(),
+            Task::lo_constrained(1, 20, 5, 5).unwrap(),
+        ]);
+        let r = Simulator::new(&ts, Policy::deadline_monotonic(&ts))
+            .with_trace()
+            .run(&Scenario::lo_only(), 20);
+        assert!(r.is_success());
+        // τ1 completes at 5, τ0 at 11.
+        let completions: Vec<(Time, u32)> = r
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Complete { at, task } => Some((*at, task.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completions, vec![(Time::new(5), 1), (Time::new(11), 0)]);
+    }
+
+    #[test]
+    fn edf_vd_prevents_miss_that_plain_edf_allows() {
+        // Classic EDF-VD motivation: with virtual deadlines the HC task is
+        // prioritised early enough in low mode to absorb an overrun.
+        // U_LL = 0.5 (T=10,C=5), HC: u^L = 0.2, u^H = 0.45 (T=20).
+        let ts = set(vec![
+            Task::hi(0, 20, 4, 9).unwrap(),
+            Task::lo(1, 10, 5).unwrap(),
+        ]);
+        // EDF-VD test accepts: x = 0.2/0.5 = 0.4, 0.4·0.5 + 0.45 = 0.65.
+        let x = mcsched_analysis::EdfVd::new()
+            .scaling_factor(&ts)
+            .expect("accepted");
+        let vd = Simulator::new(&ts, Policy::edf_vd_scaled(&ts, x)).run(&Scenario::all_hi(), 400);
+        assert!(vd.is_success(), "EDF-VD must hold: {:?}", vd.misses());
+    }
+
+    #[test]
+    fn empty_set_is_trivial() {
+        let ts = TaskSet::new();
+        let r = Simulator::new(&ts, Policy::Edf).run(&Scenario::all_hi(), 100);
+        assert!(r.is_success());
+        assert_eq!(r.released(), 0);
+    }
+
+    #[test]
+    fn sporadic_arrivals_shift_releases() {
+        let ts = set(vec![Task::lo(0, 10, 2).unwrap()]);
+        let periodic = Simulator::new(&ts, Policy::Edf).run(&Scenario::lo_only(), 100);
+        let sporadic = Simulator::new(&ts, Policy::Edf).run(&Scenario::sporadic(0.5, 0.0, 11), 100);
+        assert!(sporadic.released() <= periodic.released());
+        assert!(sporadic.is_success());
+    }
+
+    #[test]
+    #[should_panic(expected = "one virtual deadline per task")]
+    fn mismatched_policy_table_panics() {
+        let ts = set(vec![Task::lo(0, 10, 2).unwrap()]);
+        let _ = Simulator::new(
+            &ts,
+            Policy::EdfVd {
+                virtual_deadlines: vec![],
+            },
+        );
+    }
+
+    #[test]
+    fn lo_mode_misses_attributed_to_lc() {
+        // LC-heavy overload in low mode: misses recorded with criticality.
+        let ts = set(vec![
+            Task::lo(0, 10, 9).unwrap(),
+            Task::lo(1, 10, 9).unwrap(),
+        ]);
+        let r = Simulator::new(&ts, Policy::Edf).run(&Scenario::lo_only(), 60);
+        assert!(!r.is_success());
+        assert!(r.misses().iter().all(|m| m.criticality == Criticality::Low));
+    }
+}

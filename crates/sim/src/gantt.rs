@@ -1,0 +1,170 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! Turns a recorded [`TraceEvent`] stream into a
+//! per-task timeline, which makes simulator behaviour (preemption, mode
+//! switches, drops, misses) reviewable at a glance in examples and test
+//! failure output.
+
+use crate::report::{SimReport, TraceEvent};
+use mcsched_model::{TaskId, TaskSet, Time};
+use std::collections::BTreeMap;
+
+/// Characters used per timeline cell.
+const RELEASE: char = '^';
+const COMPLETE: char = '|';
+const DROP: char = 'x';
+const MISS: char = '!';
+const SWITCH: char = 'S';
+const IDLE: char = '.';
+
+/// Renders a per-task event timeline of the first `width` ticks of a
+/// traced run.
+///
+/// Each row is one task; columns are ticks. `^` marks a release, `|` a
+/// completion, `x` a drop, `!` a required-deadline miss. A `MODE` row
+/// shows switches (`S`) and resets (`r`). Cells without events show `.`.
+///
+/// The rendering is event-based (not busy/idle exact), which is enough to
+/// see scheduling structure without instrumenting the engine's dispatch
+/// decisions.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_sim::{Simulator, Policy, Scenario, gantt};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 3)?])?;
+/// let report = Simulator::new(&ts, Policy::Edf).with_trace()
+///     .run(&Scenario::lo_only(), 30);
+/// let chart = gantt::render(&ts, &report, 30);
+/// assert!(chart.contains("τ0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(ts: &TaskSet, report: &SimReport, width: u64) -> String {
+    let width = width.min(report.horizon().as_ticks()).max(1) as usize;
+    let mut rows: BTreeMap<TaskId, Vec<char>> =
+        ts.iter().map(|t| (t.id(), vec![IDLE; width])).collect();
+    let mut mode_row = vec![IDLE; width];
+
+    let mark = |row: &mut Vec<char>, at: Time, c: char| {
+        let idx = at.as_ticks() as usize;
+        if idx < width {
+            // Later events at the same tick win, except misses, which are
+            // never overwritten.
+            if row[idx] != MISS {
+                row[idx] = c;
+            }
+        }
+    };
+
+    for ev in report.trace() {
+        match *ev {
+            TraceEvent::Release { at, task } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    mark(row, at, RELEASE);
+                }
+            }
+            TraceEvent::Complete { at, task } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    mark(row, at, COMPLETE);
+                }
+            }
+            TraceEvent::Drop { at, task } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    mark(row, at, DROP);
+                }
+            }
+            TraceEvent::Miss(m) => {
+                if let Some(row) = rows.get_mut(&m.task) {
+                    mark(row, m.deadline, MISS);
+                }
+            }
+            TraceEvent::ModeSwitch { at, .. } => mark(&mut mode_row, at, SWITCH),
+            TraceEvent::ModeReset { at } => mark(&mut mode_row, at, 'r'),
+        }
+    }
+
+    let mut out = String::new();
+    // Tick ruler every 10 columns.
+    out.push_str("        ");
+    for i in 0..width {
+        out.push(if i % 10 == 0 { '0' } else { ' ' });
+    }
+    out.push('\n');
+    for (id, row) in &rows {
+        out.push_str(&format!("{:>6}  ", id.to_string()));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>6}  ", "MODE"));
+    out.extend(mode_row.iter());
+    out.push('\n');
+    out.push_str("        (^ release  | complete  x drop  ! miss  S switch  r reset)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Policy, Scenario, Simulator};
+    use mcsched_model::Task;
+
+    #[test]
+    fn renders_releases_and_completions() {
+        let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 3).unwrap()]).unwrap();
+        let report = Simulator::new(&ts, Policy::Edf)
+            .with_trace()
+            .run(&Scenario::lo_only(), 25);
+        let chart = render(&ts, &report, 25);
+        let line = chart.lines().find(|l| l.contains("τ0")).unwrap();
+        // Release at t=0 (tick column offset 8), completion at t=3.
+        let cells: Vec<char> = line.chars().skip(8).collect();
+        assert_eq!(cells[0], RELEASE);
+        assert_eq!(cells[3], COMPLETE);
+        assert_eq!(cells[10], RELEASE);
+        assert!(chart.contains("MODE"));
+    }
+
+    #[test]
+    fn renders_mode_switch_and_drop() {
+        let ts = TaskSet::try_from_tasks(vec![
+            Task::hi(0, 10, 2, 6).unwrap(),
+            Task::lo(1, 10, 3).unwrap(),
+        ])
+        .unwrap();
+        let report = Simulator::new(&ts, Policy::edf_vd_scaled(&ts, 0.5))
+            .with_trace()
+            .run(&Scenario::all_hi(), 20);
+        let chart = render(&ts, &report, 20);
+        assert!(chart.contains('S'), "mode switch missing:\n{chart}");
+        assert!(chart.contains('x'), "drop missing:\n{chart}");
+    }
+
+    #[test]
+    fn renders_misses() {
+        let ts = TaskSet::try_from_tasks(vec![
+            Task::lo(0, 10, 9).unwrap(),
+            Task::lo(1, 10, 9).unwrap(),
+        ])
+        .unwrap();
+        let report = Simulator::new(&ts, Policy::Edf)
+            .with_trace()
+            .run(&Scenario::lo_only(), 30);
+        let chart = render(&ts, &report, 30);
+        assert!(chart.contains('!'), "miss marker missing:\n{chart}");
+    }
+
+    #[test]
+    fn width_clamps_to_horizon() {
+        let ts = TaskSet::try_from_tasks(vec![Task::lo(0, 10, 3).unwrap()]).unwrap();
+        let report = Simulator::new(&ts, Policy::Edf)
+            .with_trace()
+            .run(&Scenario::lo_only(), 10);
+        let chart = render(&ts, &report, 1000);
+        let line = chart.lines().find(|l| l.contains("τ0")).unwrap();
+        assert!(line.chars().skip(8).count() <= 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! # mcsched — Mixed-Criticality Partitioned Scheduling
+//!
+//! A comprehensive Rust reproduction of Ramanathan & Easwaran,
+//! *"Utilization Difference Based Partitioned Scheduling of
+//! Mixed-Criticality Systems"* (DATE 2017).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — the dual-criticality sporadic task model,
+//! * [`analysis`] — uniprocessor MC schedulability tests
+//!   (EDF-VD, EY, ECDF, AMC-rtb, AMC-max),
+//! * [`core`] — the partitioning framework, the paper's **CA-UDP** /
+//!   **CU-UDP** strategies and every baseline it compares against,
+//! * [`gen`] — the fair task-set generator of the paper's §IV,
+//! * [`sim`] — a discrete-event mixed-criticality scheduler simulator,
+//! * [`exp`] — the experiment harness that regenerates the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcsched::model::{Task, TaskSet};
+//! use mcsched::analysis::EdfVd;
+//! use mcsched::core::{PartitionedAlgorithm, presets};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ts = TaskSet::try_from_tasks(vec![
+//!     Task::hi(0, 10, 2, 5)?,
+//!     Task::hi(1, 20, 4, 9)?,
+//!     Task::lo(2, 10, 4)?,
+//!     Task::lo(3, 25, 5)?,
+//! ])?;
+//!
+//! // Partition onto 2 processors with the paper's CU-UDP strategy,
+//! // admitting tasks with the EDF-VD schedulability test.
+//! let algo = PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new());
+//! let partition = algo.partition(&ts, 2)?;
+//! assert_eq!(partition.processor_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mcsched_analysis as analysis;
+pub use mcsched_core as core;
+pub use mcsched_exp as exp;
+pub use mcsched_gen as gen;
+pub use mcsched_model as model;
+pub use mcsched_sim as sim;

@@ -1,0 +1,124 @@
+//! End-to-end checks of the fixed-priority (AMC) path on
+//! constrained-deadline workloads: analysis → partition → runtime, plus
+//! the OPA extension driven through the simulator.
+
+use mcsched::analysis::{AmcMax, AmcRtb, SchedulabilityTest};
+use mcsched::core::{presets, PartitionedAlgorithm};
+use mcsched::gen::{DeadlineModel, GridPoint, TaskSetSpec};
+use mcsched::model::{Task, TaskSet};
+use mcsched::sim::{validate, PartitionedSimulator, Policy, Scenario};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn partitioned_amc_survives_adversarial_runtime() {
+    let mut rng = StdRng::seed_from_u64(0xACDC);
+    let algo = PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new());
+    let mut validated = 0;
+    for _ in 0..40 {
+        let spec = TaskSetSpec::paper_defaults(
+            2,
+            GridPoint {
+                u_hh: 0.5,
+                u_hl: 0.25,
+                u_ll: 0.3,
+            },
+            DeadlineModel::Constrained,
+        );
+        let Ok(ts) = spec.generate(&mut rng) else {
+            continue;
+        };
+        let Ok(partition) = algo.partition(&ts, 2) else {
+            continue;
+        };
+        validated += 1;
+        let sim = PartitionedSimulator::from_partition(&partition, Policy::deadline_monotonic);
+        for scenario in [
+            Scenario::all_hi(),
+            Scenario::random_overrun(0.5, validated),
+            Scenario::sporadic(0.5, 0.8, validated),
+        ] {
+            for (k, r) in sim.run(&scenario, 20_000).iter().enumerate() {
+                assert!(
+                    r.is_success(),
+                    "φ{k} missed under {scenario:?}: {:?}\n{}",
+                    r.misses(),
+                    partition
+                );
+            }
+        }
+    }
+    assert!(validated >= 15, "coverage: {validated}");
+}
+
+#[test]
+fn opa_certified_order_survives_runtime() {
+    // The strict-gap instance: DM fails analytically, OPA certifies; run
+    // the OPA order in the simulator under sustained overruns.
+    let ts = TaskSet::try_from_tasks(vec![
+        Task::hi(0, 10, 4, 6).unwrap(),
+        Task::lo_constrained(1, 12, 5, 9).unwrap(),
+        Task::lo(2, 40, 3).unwrap(),
+    ])
+    .unwrap();
+    assert!(!AmcRtb::new().is_schedulable(&ts));
+    let order = AmcRtb::audsley_order(&ts).expect("OPA-certified");
+    let policy = Policy::FixedPriority {
+        priority_order: order,
+    };
+    validate::validate_uniprocessor(&ts, &policy, 10_000, 5)
+        .unwrap_or_else(|ce| panic!("OPA order missed at runtime: {ce}"));
+}
+
+#[test]
+fn dm_order_misses_where_opa_succeeds() {
+    // The same instance under the DM order: AMC-rtb's rejection is not
+    // necessarily a runtime miss (the test is sufficient, not exact), but
+    // AMC-max also rejects here — and the simulator confirms a genuine
+    // worst-case miss under sustained overruns with DM priorities.
+    let ts = TaskSet::try_from_tasks(vec![
+        Task::hi(0, 10, 4, 6).unwrap(),
+        Task::lo_constrained(1, 12, 5, 9).unwrap(),
+        Task::lo(2, 40, 3).unwrap(),
+    ])
+    .unwrap();
+    let report = mcsched::sim::Simulator::new(&ts, Policy::deadline_monotonic(&ts))
+        .run(&Scenario::all_hi(), 10_000);
+    assert!(
+        !report.is_success(),
+        "expected the DM order to miss under sustained overruns"
+    );
+}
+
+#[test]
+fn amc_partitioning_handles_heavy_lc_mix() {
+    // High P_H stresses the criticality-unaware ordering with AMC.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let algo = PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new());
+    let base = PartitionedAlgorithm::new(presets::ca_f_f(), AmcMax::new());
+    let (mut udp_ok, mut base_ok) = (0u32, 0u32);
+    for _ in 0..60 {
+        let spec = TaskSetSpec::paper_defaults(
+            2,
+            GridPoint {
+                u_hh: 0.7,
+                u_hl: 0.35,
+                u_ll: 0.3,
+            },
+            DeadlineModel::Constrained,
+        )
+        .with_p_h(0.7);
+        let Ok(ts) = spec.generate(&mut rng) else {
+            continue;
+        };
+        if algo.partition(&ts, 2).is_ok() {
+            udp_ok += 1;
+        }
+        if base.partition(&ts, 2).is_ok() {
+            base_ok += 1;
+        }
+    }
+    assert!(
+        udp_ok >= base_ok,
+        "CU-UDP-AMC accepted {udp_ok} vs CA-F-F-AMC {base_ok}"
+    );
+}
