@@ -83,13 +83,14 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let u_hh = f64::from(u_hh_pct) / 100.0;
-        let point = GridPoint { u_hh, u_hl: u_hh / 2.0, u_ll: (0.95 - u_hh / 2.0).max(0.05).min(0.5) };
+        let point = GridPoint { u_hh, u_hl: u_hh / 2.0, u_ll: (0.95 - u_hh / 2.0).clamp(0.05, 0.5) };
         for deadlines in [DeadlineModel::Implicit, DeadlineModel::Constrained] {
             let spec = TaskSetSpec::paper_defaults(m, point, deadlines);
             let mut rng = StdRng::seed_from_u64(seed);
             if let Ok(ts) = spec.generate(&mut rng) {
                 prop_assert!(ts.validate().is_ok());
-                prop_assert!(ts.len() >= m + 1 && ts.len() <= 5 * m);
+                // The paper draws n from [m+1, 5m].
+                prop_assert!(ts.len() > m && ts.len() <= 5 * m);
                 for t in &ts {
                     prop_assert!(t.wcet_lo() <= t.wcet_hi());
                     prop_assert!(t.wcet_hi() <= t.deadline());

@@ -1,0 +1,251 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's bench
+//! targets use: [`Criterion`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — mean wall-clock time over
+//! `sample_size` timed batches after one warm-up batch — and honours the
+//! standard CLI contract:
+//!
+//! * `--test` runs every benchmark body exactly once (CI smoke mode),
+//! * a positional `<filter>` substring restricts which benchmarks run,
+//! * other criterion flags (`--bench`, `--verbose`, …) are accepted and
+//!   ignored so `cargo bench` invocations don't error.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; one per bench binary.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+/// Criterion flags that consume the next argument; their values must
+/// not be mistaken for a positional benchmark filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--baseline",
+    "--color",
+    "--load-baseline",
+    "--measurement-time",
+    "--output-format",
+    "--profile-time",
+    "--sample-size",
+    "--save-baseline",
+    "--significance-level",
+    "--warm-up-time",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if VALUE_FLAGS.contains(&a) => {
+                    args.next(); // accepted, ignored — skip its value too
+                }
+                a if a.starts_with("--") => {} // accept and ignore criterion flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.0, 10, |b| f(b));
+        self
+    }
+
+    fn skips(&self, full_name: &str) -> bool {
+        matches!(&self.filter, Some(f) if !full_name.contains(f.as_str()))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id like `"name/param"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; runs the timed body.
+pub struct Bencher {
+    mode: BencherMode,
+    total: Duration,
+    batches: u64,
+}
+
+enum BencherMode {
+    /// Run the body once, untimed.
+    Smoke,
+    /// Run `batch` iterations per `iter` call, timed.
+    Measure { batch: u64 },
+}
+
+impl Bencher {
+    /// Times `body` (or runs it once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            BencherMode::Smoke => {
+                black_box(body());
+            }
+            BencherMode::Measure { batch } => {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(body());
+                }
+                self.total += start.elapsed();
+                self.batches += batch;
+            }
+        }
+    }
+}
+
+fn run_one(c: &Criterion, full_name: &str, sample_size: usize, mut run: impl FnMut(&mut Bencher)) {
+    if c.skips(full_name) {
+        return;
+    }
+    if c.test_mode {
+        let mut b = Bencher {
+            mode: BencherMode::Smoke,
+            total: Duration::ZERO,
+            batches: 0,
+        };
+        run(&mut b);
+        println!("test {full_name} ... ok");
+        return;
+    }
+    // Warm-up batch, then `sample_size` timed batches.
+    let mut warm = Bencher {
+        mode: BencherMode::Measure { batch: 1 },
+        total: Duration::ZERO,
+        batches: 0,
+    };
+    run(&mut warm);
+    let mut b = Bencher {
+        mode: BencherMode::Measure {
+            batch: sample_size as u64,
+        },
+        total: Duration::ZERO,
+        batches: 0,
+    };
+    run(&mut b);
+    let mean = if b.batches > 0 {
+        b.total / b.batches as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "{full_name:<60} time: [{mean:?} per iter, {} iters]",
+        b.batches
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

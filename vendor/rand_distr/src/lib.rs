@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand_distr` (see `vendor/README.md`).
+//!
+//! The workspace does not sample from non-uniform distributions yet.
+//! When it does, implement the needed distributions here against
+//! [`rand::Rng`] and keep the upstream names (`Normal`, `Exp`, …).
+
+#![forbid(unsafe_code)]

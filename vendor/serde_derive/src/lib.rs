@@ -1,0 +1,264 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! **non-generic** structs and enums without `syn`/`quote`, by walking the
+//! raw token trees. Serialization follows serde's externally-tagged
+//! conventions: named structs become maps, tuple structs become
+//! sequences, unit enum variants become strings, and data-carrying
+//! variants become single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity only).
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Derives `serde::Serialize` by rendering the type into `serde::Value`.
+///
+/// `#[serde(...)]` helper attributes are accepted but ignored, except
+/// that single-field tuple structs already serialize transparently.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => struct_body(&parsed.name, fields),
+        Kind::Enum(variants) => enum_body(&parsed.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        parsed.name, body
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}
+
+/// Derives the marker trait `serde::Deserialize` (no runtime machinery).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        parsed.name
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}
+
+fn struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"),
+            Fields::Named(names) => {
+                let pat = names.join(", ");
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {pat} }} => ::serde::Value::Map(vec![\
+                     (\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(f0) => ::serde::Value::Map(vec![\
+                 (\"{v}\".to_string(), ::serde::Serialize::to_value(f0))])"
+            ),
+            Fields::Tuple(n) => {
+                let pat: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Map(vec![\
+                     (\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                    pat.join(", "),
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = ident_at(&tokens, i)
+        .unwrap_or_else(|| panic!("serde_derive stub: expected `struct` or `enum`"));
+    i += 1;
+    let name =
+        ident_at(&tokens, i).unwrap_or_else(|| panic!("serde_derive stub: expected type name"));
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                _ => Fields::Unit,
+            };
+            Input {
+                name,
+                kind: Kind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive stub: expected enum body for `{name}`"),
+            };
+            let variants = split_top_level(body)
+                .into_iter()
+                .map(|chunk| parse_variant(&chunk))
+                .collect();
+            Input {
+                name,
+                kind: Kind::Enum(variants),
+            }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> (String, Fields) {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    let name =
+        ident_at(chunk, i).unwrap_or_else(|| panic!("serde_derive stub: expected variant name"));
+    i += 1;
+    // Payload group, if any; a trailing `= discriminant` is ignored.
+    let fields = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_level(g.stream()).len())
+        }
+        _ => Fields::Unit,
+    };
+    (name, fields)
+}
+
+/// Extracts field names from a named-field group body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            ident_at(&chunk, i).unwrap_or_else(|| panic!("serde_derive stub: expected field name"))
+        })
+        .collect()
+}
+
+/// Splits a token stream at top-level commas, dropping empty chunks.
+///
+/// Commas inside `<...>` generic arguments are not split points: angle
+/// brackets are plain punctuation (unlike `()`/`[]`/`{}` groups), so the
+/// bracket depth is tracked explicitly. A `>` closing an `->` arrow is
+/// not a depth change, but arrows do not occur in the field types this
+/// stub supports.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Advances `i` past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `thiserror` (see `vendor/README.md`).
+//!
+//! Workspace error types hand-implement `Display` and
+//! `std::error::Error` today. If a `#[derive(Error)]` becomes worth
+//! having, add a proc-macro crate mirroring `vendor/serde_derive`.
+
+#![forbid(unsafe_code)]
