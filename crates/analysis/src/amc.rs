@@ -26,14 +26,20 @@
 //!   `C^H_k`. The final bound takes the best of AMC-max and AMC-rtb, so
 //!   AMC-max dominates AMC-rtb by construction (as published).
 
+use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
 use crate::SchedulabilityTest;
-use mcsched_model::{Criticality, Task, TaskSet, Time};
+use mcsched_model::{Criticality, SystemUtilization, Task, TaskId, TaskSet, Time};
 
 /// Deadline-monotonic priority order: returns task indices from highest to
 /// lowest priority.
 pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..ts.len()).collect();
-    let tasks = ts.as_slice();
+    dm_order_slice(ts.as_slice())
+}
+
+/// [`dm_order`] over a raw task slice (the incremental state analyses
+/// `committed + candidate` workspaces without materialising a `TaskSet`).
+fn dm_order_slice(tasks: &[Task]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..tasks.len()).collect();
     idx.sort_by(|&a, &b| {
         tasks[a]
             .deadline()
@@ -46,7 +52,26 @@ pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
 /// Iterates the standard RTA fixpoint `R = wcet + interference(R)`,
 /// bailing out as soon as `R` exceeds `deadline`.
 fn fixpoint(wcet: Time, deadline: Time, interference: impl Fn(Time) -> Time) -> Option<Time> {
-    let mut r = wcet;
+    fixpoint_from(wcet, wcet, deadline, interference)
+}
+
+/// [`fixpoint`] warm-started at `start`.
+///
+/// Exactness: for a monotone interference function whose least fixed point
+/// is `R*`, Kleene iteration from any `start ≤ R*` with
+/// `wcet + interference(start) ≥ start` converges to the same `R*` (the
+/// iterates stay monotone nondecreasing and bounded by `R*`). The
+/// incremental AMC state warm-starts from the response computed *before* a
+/// task was added — interference only grows when the higher-priority set
+/// grows, so the old response is such a valid lower bound and the returned
+/// fixed point (and verdict) is identical to a cold start, only cheaper.
+fn fixpoint_from(
+    start: Time,
+    wcet: Time,
+    deadline: Time,
+    interference: impl Fn(Time) -> Time,
+) -> Option<Time> {
+    let mut r = start.max(wcet);
     loop {
         let next = wcet + interference(r);
         if next > deadline {
@@ -153,10 +178,16 @@ impl AmcContext<'_> {
     }
 
     fn rtb_response(&self, i: usize) -> Option<Time> {
+        self.rtb_response_from(i, self.tasks[i].wcet_hi())
+    }
+
+    /// [`AmcContext::rtb_response`] with a warm-started fixpoint (see
+    /// [`fixpoint_from`] for why the result is identical).
+    fn rtb_response_from(&self, i: usize, start: Time) -> Option<Time> {
         let ti = &self.tasks[i];
         let hp = self.hp(i);
         let lo_cap = self.lo_resp[i];
-        fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
+        fixpoint_from(start, ti.wcet_hi(), ti.deadline(), |r| {
             hp.iter()
                 .map(|&j| {
                     let tj = &self.tasks[j];
@@ -167,6 +198,23 @@ impl AmcContext<'_> {
                 })
                 .sum()
         })
+    }
+
+    /// The AMC-max bound for task `i`: the worst response over all switch
+    /// instants, never worse than the rtb bound (shared by the one-shot
+    /// test and the incremental state so the code paths cannot diverge).
+    fn max_bound(&self, i: usize) -> Option<Time> {
+        // max over switch instants; infeasible at any instant → None.
+        let mut worst = Time::ZERO;
+        for s in self.switch_candidates(i) {
+            let r = self.max_response_at(i, s)?;
+            worst = worst.max(r);
+        }
+        // AMC-max result never needs to be worse than AMC-rtb.
+        match self.rtb_response(i) {
+            Some(rtb) => Some(worst.min(rtb)),
+            None => Some(worst),
+        }
     }
 
     /// AMC-max response for switch instant `s`.
@@ -354,6 +402,22 @@ impl SchedulabilityTest for AmcRtb {
             amc_schedulable(ts, |ctx, i| ctx.rtb_response(i))
         }
     }
+
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(self.new_state())
+    }
+}
+
+impl IncrementalTest for AmcRtb {
+    type State = AmcState;
+
+    fn new_state(&self) -> AmcState {
+        AmcState::new(if self.audsley {
+            AmcVariant::RtbAudsley
+        } else {
+            AmcVariant::RtbDm
+        })
+    }
 }
 
 /// The AMC-max schedulability test (the variant the DATE 2017 paper uses
@@ -395,19 +459,287 @@ impl SchedulabilityTest for AmcMax {
         "AMC-max"
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
-        amc_schedulable(ts, |ctx, i| {
-            // max over switch instants; infeasible at any instant → None.
-            let mut worst = Time::ZERO;
-            for s in ctx.switch_candidates(i) {
-                let r = ctx.max_response_at(i, s)?;
-                worst = worst.max(r);
+        amc_schedulable(ts, |ctx, i| ctx.max_bound(i))
+    }
+
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(self.new_state())
+    }
+}
+
+impl IncrementalTest for AmcMax {
+    type State = AmcState;
+
+    fn new_state(&self) -> AmcState {
+        AmcState::new(AmcVariant::Max)
+    }
+}
+
+/// Which AMC analysis an [`AmcState`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AmcVariant {
+    /// AMC-rtb under deadline-monotonic priorities.
+    RtbDm,
+    /// AMC-rtb under Audsley's OPA (no incremental structure — every
+    /// query re-runs the priority-assignment search).
+    RtbAudsley,
+    /// AMC-max under deadline-monotonic priorities.
+    Max,
+}
+
+/// The cached per-processor analysis of a committed, schedulable set:
+/// the DM priority order plus every response-time fixed point.
+#[derive(Debug, Clone, Default)]
+struct AmcCache {
+    /// Task indices from highest to lowest priority.
+    order: Vec<usize>,
+    /// Low-mode response time per task index.
+    lo_resp: Vec<Time>,
+    /// High-mode response bound per task index (`None` for LC tasks).
+    hi_resp: Vec<Option<Time>>,
+}
+
+/// Incremental admission for the AMC response-time analyses.
+///
+/// Inserting a candidate into the deadline-monotonic order leaves every
+/// higher-priority task's analysis untouched (its higher-priority set is
+/// unchanged), so those response times are reused verbatim; the candidate
+/// and the tasks below it re-run their fixed-point iterations
+/// **warm-started** from the previous responses, which converge to the
+/// same least fixed points (see [`fixpoint_from`]) — the verdict is
+/// exactly the one-shot test's, at a fraction of the iterations.
+#[derive(Debug, Clone)]
+pub struct AmcState {
+    variant: AmcVariant,
+    committed: Committed,
+    /// `Some` whenever the committed set is known schedulable; `None`
+    /// forces the next query onto the full-analysis path.
+    cache: Option<AmcCache>,
+    /// The analysis computed by the last successful `try_admit`, adopted
+    /// by a matching `commit` without re-running anything.
+    pending: Option<(TaskId, AmcCache)>,
+}
+
+impl AmcState {
+    fn new(variant: AmcVariant) -> Self {
+        AmcState {
+            variant,
+            committed: Committed::default(),
+            cache: Some(AmcCache::default()),
+            pending: None,
+        }
+    }
+
+    /// Full analysis of a workspace (used for the non-incremental paths
+    /// and cache rebuilds). Returns `None` iff the one-shot test rejects.
+    fn analyze(tasks: &[Task], variant: AmcVariant) -> Option<AmcCache> {
+        let order = dm_order_slice(tasks);
+        let mut lo_resp = vec![Time::ZERO; tasks.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            let hp = &order[..pos];
+            lo_resp[i] = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
+                hp.iter()
+                    .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+                    .sum()
+            })?;
+        }
+        let ctx = AmcContext {
+            tasks,
+            order: &order,
+            lo_resp: &lo_resp,
+        };
+        let mut hi_resp = vec![None; tasks.len()];
+        for &i in &order {
+            if tasks[i].criticality() == Criticality::High {
+                let bound = match variant {
+                    AmcVariant::RtbDm => ctx.rtb_response(i),
+                    AmcVariant::Max => ctx.max_bound(i),
+                    AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+                };
+                match bound {
+                    Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
+                    _ => return None,
+                }
             }
-            // AMC-max result never needs to be worse than AMC-rtb.
-            match ctx.rtb_response(i) {
-                Some(rtb) => Some(worst.min(rtb)),
-                None => Some(worst),
-            }
+        }
+        Some(AmcCache {
+            order,
+            lo_resp,
+            hi_resp,
         })
+    }
+
+    /// The incremental admission query: reuse the prefix above the
+    /// insertion point, warm-start the suffix.
+    fn admit_incremental(&self, cache: &AmcCache, cand: &Task) -> Option<AmcCache> {
+        let tasks = self.committed.tasks.as_slice();
+        let n = tasks.len();
+        let mut workspace: Vec<Task> = Vec::with_capacity(n + 1);
+        workspace.extend_from_slice(tasks);
+        workspace.push(*cand);
+
+        // Insertion position in the (sorted, duplicate-free) DM order.
+        let key = (cand.deadline(), cand.id());
+        let p = cache
+            .order
+            .partition_point(|&i| (tasks[i].deadline(), tasks[i].id()) < key);
+        let mut order = Vec::with_capacity(n + 1);
+        order.extend_from_slice(&cache.order[..p]);
+        order.push(n);
+        order.extend_from_slice(&cache.order[p..]);
+
+        // Low-mode RTA: positions above p are untouched; the candidate
+        // starts cold, the suffix warm-starts from its previous response.
+        let mut lo_resp = vec![Time::ZERO; n + 1];
+        for &i in &cache.order[..p] {
+            lo_resp[i] = cache.lo_resp[i];
+        }
+        for pos in p..=n {
+            let i = order[pos];
+            let hp = &order[..pos];
+            let start = if i == n {
+                workspace[i].wcet_lo()
+            } else {
+                cache.lo_resp[i]
+            };
+            lo_resp[i] = fixpoint_from(
+                start,
+                workspace[i].wcet_lo(),
+                workspace[i].deadline(),
+                |r| {
+                    hp.iter()
+                        .map(|&j| workspace[j].wcet_lo() * r.div_ceil(workspace[j].period()))
+                        .sum()
+                },
+            )?;
+        }
+
+        let ctx = AmcContext {
+            tasks: &workspace,
+            order: &order,
+            lo_resp: &lo_resp,
+        };
+        let mut hi_resp = vec![None; n + 1];
+        for (pos, &i) in order.iter().enumerate() {
+            if workspace[i].criticality() != Criticality::High {
+                continue;
+            }
+            if pos < p {
+                // Higher priority than the candidate: identical inputs,
+                // identical bound.
+                hi_resp[i] = cache.hi_resp[i];
+                continue;
+            }
+            let bound = match self.variant {
+                AmcVariant::RtbDm => {
+                    let start = if i == n {
+                        workspace[i].wcet_hi()
+                    } else {
+                        cache.hi_resp[i].unwrap_or_else(|| workspace[i].wcet_hi())
+                    };
+                    ctx.rtb_response_from(i, start)
+                }
+                AmcVariant::Max => ctx.max_bound(i),
+                AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+            };
+            match bound {
+                Some(r) if r <= workspace[i].deadline() => hi_resp[i] = Some(r),
+                _ => return None,
+            }
+        }
+        Some(AmcCache {
+            order,
+            lo_resp,
+            hi_resp,
+        })
+    }
+
+    fn rebuild_cache(&mut self) {
+        self.pending = None;
+        self.cache = match self.variant {
+            AmcVariant::RtbAudsley => None,
+            _ => Self::analyze(self.committed.tasks.as_slice(), self.variant),
+        };
+    }
+}
+
+impl AdmissionState for AmcState {
+    fn try_admit(&mut self, task: &Task) -> bool {
+        if self.variant == AmcVariant::RtbAudsley {
+            // OPA re-searches priorities from scratch; no DM structure to
+            // reuse.
+            let mut candidate = self.committed.tasks.clone();
+            candidate.push_unchecked(*task);
+            let ok = AmcRtb::audsley_order(&candidate).is_some();
+            self.committed.record(false, ok);
+            return ok;
+        }
+        match self.cache.take() {
+            Some(cache) => {
+                let admitted = self.admit_incremental(&cache, task);
+                let ok = admitted.is_some();
+                self.pending = admitted.map(|c| (task.id(), c));
+                self.cache = Some(cache);
+                self.committed.record(true, ok);
+                ok
+            }
+            None => {
+                // Committed set not known schedulable (e.g. after an
+                // unchecked commit): fall back to a full analysis of the
+                // union, exactly the one-shot verdict.
+                let mut workspace: Vec<Task> = Vec::with_capacity(self.committed.tasks.len() + 1);
+                workspace.extend_from_slice(self.committed.tasks.as_slice());
+                workspace.push(*task);
+                let admitted = Self::analyze(&workspace, self.variant);
+                let ok = admitted.is_some();
+                self.pending = admitted.map(|c| (task.id(), c));
+                self.committed.record(false, ok);
+                ok
+            }
+        }
+    }
+
+    fn commit(&mut self, task: Task) {
+        match self.pending.take() {
+            Some((id, cache)) if id == task.id() => {
+                self.committed.push(task);
+                self.cache = Some(cache);
+            }
+            _ => {
+                self.committed.push(task);
+                self.rebuild_cache();
+            }
+        }
+    }
+
+    fn remove(&mut self, id: TaskId) -> bool {
+        if self.committed.remove(id).is_none() {
+            return false;
+        }
+        self.rebuild_cache();
+        true
+    }
+
+    fn summary(&self) -> SystemUtilization {
+        self.committed.summary
+    }
+
+    fn tasks(&self) -> &TaskSet {
+        &self.committed.tasks
+    }
+
+    fn take_tasks(&mut self) -> TaskSet {
+        let tasks = self.committed.take();
+        self.pending = None;
+        self.cache = match self.variant {
+            AmcVariant::RtbAudsley => None,
+            _ => Some(AmcCache::default()),
+        };
+        tasks
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        self.committed.stats
     }
 }
 
@@ -640,6 +972,67 @@ mod tests {
     fn audsley_names() {
         assert_eq!(AmcRtb::with_audsley().name(), "AMC-rtb-OPA");
         assert_eq!(AmcRtb::new().name(), "AMC-rtb");
+    }
+
+    #[test]
+    fn incremental_states_match_one_shot_exactly() {
+        use crate::incremental::clone_and_retest;
+        // Deadlines chosen so successive insertions land at the top,
+        // middle and bottom of the DM order (exercising prefix reuse and
+        // warm-started suffixes), including a constrained deadline.
+        let sequence = vec![
+            Task::hi(0, 30, 3, 6).unwrap(),
+            Task::lo(1, 10, 2).unwrap(),
+            Task::hi_constrained(2, 25, 2, 5, 20).unwrap(),
+            Task::lo_constrained(3, 12, 1, 5).unwrap(),
+            Task::hi(4, 40, 4, 9).unwrap(),
+            Task::lo(5, 15, 3).unwrap(),
+            Task::hi(6, 18, 2, 4).unwrap(),
+        ];
+        let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
+            Box::new(AmcRtb::new()),
+            Box::new(AmcRtb::with_audsley()),
+            Box::new(AmcMax::new()),
+        ];
+        for test in &tests {
+            let mut state = test.admission_state();
+            for t in &sequence {
+                let expected = clone_and_retest(test, state.tasks(), t);
+                assert_eq!(state.try_admit(t), expected, "{} on {t}", test.name());
+                if expected {
+                    state.commit(*t);
+                }
+            }
+            // Remove a mid-priority task; the rebuilt cache must keep
+            // agreeing with the one-shot test.
+            assert!(state.remove(TaskId(2)));
+            let back = sequence[2];
+            let expected = clone_and_retest(test, state.tasks(), &back);
+            assert_eq!(state.try_admit(&back), expected, "{} re-admit", test.name());
+            if expected {
+                state.commit(back);
+            }
+            // Overload is rejected just like the one-shot test.
+            let heavy = Task::hi(9, 10, 6, 9).unwrap();
+            let expected = clone_and_retest(test, state.tasks(), &heavy);
+            assert_eq!(state.try_admit(&heavy), expected);
+        }
+    }
+
+    #[test]
+    fn uncommitted_admit_then_commit_of_other_task_rebuilds() {
+        // commit() without a matching try_admit must stay correct (the
+        // cache is rebuilt from scratch).
+        let test = AmcMax::new();
+        let mut state = test.new_state();
+        let a = Task::hi(0, 10, 2, 4).unwrap();
+        let b = Task::lo(1, 20, 5).unwrap();
+        assert!(state.try_admit(&a));
+        state.commit(b); // not the task we admitted
+        state.commit(a);
+        let c = Task::lo(2, 30, 4).unwrap();
+        let expected = crate::incremental::clone_and_retest(&test, state.tasks(), &c);
+        assert_eq!(state.try_admit(&c), expected);
     }
 
     #[test]

@@ -33,8 +33,9 @@
 //! length); the DATE 2017 evaluation only exercises EDF-VD on
 //! implicit-deadline systems, matching the paper.
 
+use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
 use crate::SchedulabilityTest;
-use mcsched_model::{Task, TaskSet, Time};
+use mcsched_model::{SystemUtilization, Task, TaskId, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
 /// The EDF-VD utilization-based schedulability test.
@@ -66,30 +67,63 @@ pub struct EdfVd {
 
 /// The three utilization (or density, for constrained deadlines) sums the
 /// test is computed from.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 struct Sums {
     u_ll: f64,
     u_hl: f64,
     u_hh: f64,
 }
 
-fn sums(ts: &TaskSet) -> Sums {
-    let mut s = Sums {
-        u_ll: 0.0,
-        u_hl: 0.0,
-        u_hh: 0.0,
-    };
-    for t in ts {
+impl Sums {
+    /// Adds one task's density terms. Shared by the one-shot path and the
+    /// incremental state so running sums stay bit-identical to a
+    /// from-scratch recomputation in insertion order.
+    fn accumulate(&mut self, t: &Task) {
         // Density C/min(D,T) equals utilization for implicit deadlines.
         let denom = t.deadline().min(t.period()).as_f64();
         if t.criticality().is_high() {
-            s.u_hl += t.wcet_lo().as_f64() / denom;
-            s.u_hh += t.wcet_hi().as_f64() / denom;
+            self.u_hl += t.wcet_lo().as_f64() / denom;
+            self.u_hh += t.wcet_hi().as_f64() / denom;
         } else {
-            s.u_ll += t.wcet_lo().as_f64() / denom;
+            self.u_ll += t.wcet_lo().as_f64() / denom;
         }
     }
+}
+
+fn sums(ts: &TaskSet) -> Sums {
+    let mut s = Sums::default();
+    for t in ts {
+        s.accumulate(t);
+    }
     s
+}
+
+/// The closed-form EDF-VD acceptance evaluated on precomputed sums
+/// (Theorems 1 and 2; see [`EdfVd::scaling_factor`]).
+fn scaling_factor_from(s: &Sums) -> Option<f64> {
+    // Low mode must be feasible for some x ≤ 1; at best (x = 1) its
+    // demand is U_LL + U_HL.
+    if s.u_ll + s.u_hl > 1.0 {
+        return None;
+    }
+    // Theorem-free fast path: plain EDF handles both modes.
+    if s.u_ll + s.u_hh <= 1.0 {
+        return Some(1.0);
+    }
+    if s.u_ll >= 1.0 {
+        return None;
+    }
+    // Theorem 1: x ≥ U_HL / (1 − U_LL) makes the low mode schedulable;
+    // Theorem 2 then requires x·U_LL + U_HH ≤ 1, which is monotone in x,
+    // so the smallest admissible x is the one to check. When the check
+    // passes, x ≤ 1 follows (x·U_LL + U_HH ≥ x because U_HH ≥ U_HL and
+    // algebra), but we guard explicitly.
+    let x = s.u_hl / (1.0 - s.u_ll);
+    if x > 0.0 && x <= 1.0 && x * s.u_ll + s.u_hh <= 1.0 {
+        Some(x)
+    } else {
+        None
+    }
 }
 
 impl EdfVd {
@@ -104,30 +138,7 @@ impl EdfVd {
     /// When plain EDF suffices (`U_LL + U_HH ≤ 1`) the factor is `1.0`
     /// (virtual deadlines coincide with real deadlines).
     pub fn scaling_factor(&self, ts: &TaskSet) -> Option<f64> {
-        let s = sums(ts);
-        // Low mode must be feasible for some x ≤ 1; at best (x = 1) its
-        // demand is U_LL + U_HL.
-        if s.u_ll + s.u_hl > 1.0 {
-            return None;
-        }
-        // Theorem-free fast path: plain EDF handles both modes.
-        if s.u_ll + s.u_hh <= 1.0 {
-            return Some(1.0);
-        }
-        if s.u_ll >= 1.0 {
-            return None;
-        }
-        // Theorem 1: x ≥ U_HL / (1 − U_LL) makes the low mode schedulable;
-        // Theorem 2 then requires x·U_LL + U_HH ≤ 1, which is monotone in x,
-        // so the smallest admissible x is the one to check. When the check
-        // passes, x ≤ 1 follows (x·U_LL + U_HH ≥ x because U_HH ≥ U_HL and
-        // algebra), but we guard explicitly.
-        let x = s.u_hl / (1.0 - s.u_ll);
-        if x > 0.0 && x <= 1.0 && x * s.u_ll + s.u_hh <= 1.0 {
-            Some(x)
-        } else {
-            None
-        }
+        scaling_factor_from(&sums(ts))
     }
 
     /// The virtual deadline EDF-VD assigns to each task under the scaling
@@ -178,6 +189,74 @@ impl SchedulabilityTest for EdfVd {
 
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         self.scaling_factor(ts).is_some()
+    }
+
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(self.new_state())
+    }
+}
+
+impl IncrementalTest for EdfVd {
+    type State = EdfVdState;
+
+    fn new_state(&self) -> EdfVdState {
+        EdfVdState {
+            committed: Committed::default(),
+            sums: Sums::default(),
+        }
+    }
+}
+
+/// Incremental EDF-VD admission: the running `(U_LL, U_HL, U_HH)` density
+/// sums of the committed tasks, so each admission query evaluates the
+/// closed-form condition in **O(1)** instead of re-summing the set.
+///
+/// Because the running sums accumulate in insertion order — the same order
+/// a one-shot analysis of the union would use — the verdicts are
+/// bit-identical to clone-and-retest.
+#[derive(Debug, Clone, Default)]
+pub struct EdfVdState {
+    committed: Committed,
+    sums: Sums,
+}
+
+impl AdmissionState for EdfVdState {
+    fn try_admit(&mut self, task: &Task) -> bool {
+        let mut s = self.sums;
+        s.accumulate(task);
+        let ok = scaling_factor_from(&s).is_some();
+        self.committed.record(true, ok);
+        ok
+    }
+
+    fn commit(&mut self, task: Task) {
+        self.sums.accumulate(&task);
+        self.committed.push(task);
+    }
+
+    fn remove(&mut self, id: TaskId) -> bool {
+        if self.committed.remove(id).is_none() {
+            return false;
+        }
+        self.sums = sums(&self.committed.tasks);
+        true
+    }
+
+    fn summary(&self) -> SystemUtilization {
+        self.committed.summary
+    }
+
+    fn tasks(&self) -> &TaskSet {
+        &self.committed.tasks
+    }
+
+    fn take_tasks(&mut self) -> TaskSet {
+        self.sums = Sums::default();
+        self.committed.take()
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        self.committed.stats
     }
 }
 
@@ -339,5 +418,38 @@ mod tests {
     fn name() {
         assert_eq!(EdfVd::new().name(), "EDF-VD");
         assert_eq!(EdfVd::default(), EdfVd::new());
+    }
+
+    #[test]
+    fn incremental_state_matches_one_shot_exactly() {
+        let test = EdfVd::new();
+        let mut state = test.new_state();
+        let tasks = [
+            hc(0, 10, 2, 5),
+            lc(1, 10, 4),
+            hc(2, 20, 3, 9),
+            lc(3, 25, 6),
+            hc(4, 100, 20, 65),
+            lc(5, 100, 40),
+        ];
+        for t in tasks {
+            let mut union = state.tasks().clone();
+            union.push_unchecked(t);
+            let expected = test.is_schedulable(&union);
+            assert_eq!(state.try_admit(&t), expected, "admitting {t}");
+            if expected {
+                state.commit(t);
+            }
+        }
+        assert!(state.stats().incremental == state.stats().attempts);
+        // Removal resyncs the density sums with a recomputation.
+        let first = *state.tasks().iter().next().unwrap();
+        assert!(state.remove(first.id()));
+        let expected = {
+            let mut union = state.tasks().clone();
+            union.push_unchecked(first);
+            test.is_schedulable(&union)
+        };
+        assert_eq!(state.try_admit(&first), expected);
     }
 }

@@ -1,0 +1,513 @@
+//! The **incremental admission layer**: stateful per-processor
+//! schedulability instead of clone-and-retest.
+//!
+//! The paper's Algorithm 1 asks, for every `(task, processor)` pair, "does
+//! `τ(φk) ∪ {τi}` pass the uniprocessor test?". The one-shot
+//! [`SchedulabilityTest`] answers that by analysing the whole candidate set
+//! from scratch — O(n·m) full analyses per partitioning run. An
+//! [`AdmissionState`] instead *remembers* the processor's committed
+//! contents and the reusable intermediate results of the last analysis, so
+//! each admission query costs only the work the new task actually adds:
+//!
+//! * [`EdfVd`](crate::EdfVd) keeps the running `(U_LL, U_HL, U_HH)` density
+//!   sums and evaluates the closed-form condition in **O(1)**;
+//! * [`Ey`](crate::Ey) / [`Ecdf`](crate::Ecdf) cache the per-task
+//!   virtual-deadline seeds and the running utilization sums, rejecting
+//!   overloaded candidates in O(1) and re-tuning only from cached
+//!   per-task state otherwise;
+//! * [`AmcRtb`](crate::AmcRtb) / [`AmcMax`](crate::AmcMax) keep the
+//!   deadline-monotonic order and every response-time fixed point: tasks
+//!   with priority above the inserted task are reused verbatim, the rest
+//!   warm-start their fixed-point iteration from the previous response.
+//!
+//! **Equivalence guarantee.** Every state is *exactly* equivalent to the
+//! one-shot test on the union of committed tasks plus the candidate — same
+//! verdict, bit-identical floating-point sums (running sums accumulate in
+//! the same insertion order a fresh recomputation would use, via
+//! [`SystemUtilization::accumulate`]), identical integer fixed points
+//! (warm starts below the least fixed point converge to the same least
+//! fixed point). Incremental partitioning therefore reproduces the
+//! clone-and-retest partitions **bit-identically**; the property tests in
+//! `tests/incremental_equivalence.rs` enforce this against the [`OneShot`]
+//! reference bridge for all five tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsched_model::{Task, TaskSet};
+//! use mcsched_analysis::{AdmissionState, EdfVd, IncrementalTest, SchedulabilityTest};
+//!
+//! # fn main() -> Result<(), mcsched_model::ModelError> {
+//! let test = EdfVd::new();
+//! let mut state = test.new_state();
+//!
+//! let heavy = Task::hi(0, 10, 3, 9)?;
+//! let light = Task::lo(1, 10, 1)?;
+//!
+//! assert!(state.try_admit(&heavy)); // O(1): running sums + closed form
+//! state.commit(heavy);
+//! assert!(state.try_admit(&light));
+//! state.commit(light);
+//!
+//! // The cached summary matches a fresh recomputation bit-for-bit.
+//! let u = state.summary();
+//! assert_eq!(u.u_hh, state.tasks().system_utilization().u_hh);
+//!
+//! // Admission is exactly the one-shot test on the union.
+//! let too_much = Task::lo(2, 10, 4)?;
+//! let mut union = state.tasks().clone();
+//! union.push_unchecked(too_much);
+//! assert_eq!(state.try_admit(&too_much), test.is_schedulable(&union));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::SchedulabilityTest;
+use mcsched_model::{SystemUtilization, Task, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters describing how a partitioning run exercised the admission
+/// layer. Aggregated per build by `mcsched-core` and surfaced by
+/// `mcsched-exp --ablation`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Admission queries ([`AdmissionState::try_admit`] calls).
+    pub attempts: u64,
+    /// Queries that answered "admit".
+    pub admits: u64,
+    /// Queries answered from cached incremental state (O(1) closed forms,
+    /// warm-started fixed points, cached prefixes).
+    pub incremental: u64,
+    /// Queries that fell back to a full from-scratch re-analysis
+    /// (the clone-and-retest bridge, or a state whose cache was
+    /// invalidated).
+    pub full: u64,
+}
+
+impl AdmissionStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &AdmissionStats) {
+        self.attempts += other.attempts;
+        self.admits += other.admits;
+        self.incremental += other.incremental;
+        self.full += other.full;
+    }
+}
+
+impl fmt::Display for AdmissionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts, {} admits, {} incremental / {} full analyses",
+            self.attempts, self.admits, self.incremental, self.full
+        )
+    }
+}
+
+/// Stateful per-processor admission: the committed contents of one
+/// processor plus whatever cached analysis state the test maintains.
+///
+/// The contract mirrors the partitioning inner loop:
+///
+/// 1. [`try_admit`](AdmissionState::try_admit) answers whether the
+///    committed tasks plus the candidate pass the test — **exactly** the
+///    verdict the one-shot test would give on that union — without
+///    mutating the committed contents;
+/// 2. [`commit`](AdmissionState::commit) appends a task (reusing the
+///    analysis computed by an immediately preceding successful
+///    `try_admit` of the same task, and re-analysing otherwise);
+/// 3. [`remove`](AdmissionState::remove) takes a task back out,
+///    invalidating whatever cached state depended on it.
+///
+/// States are created by [`IncrementalTest::new_state`] (typed) or
+/// [`SchedulabilityTest::admission_state`] (object-safe; defaults to the
+/// clone-and-retest bridge).
+pub trait AdmissionState {
+    /// Would the committed tasks plus `task` pass the test?
+    ///
+    /// Exactly equivalent to running the one-shot test on the union; does
+    /// not change the committed contents.
+    fn try_admit(&mut self, task: &Task) -> bool;
+
+    /// Commits `task` to the processor.
+    ///
+    /// Cheap when it follows a successful [`try_admit`](Self::try_admit)
+    /// of the same task (the analysis is reused); otherwise the cached
+    /// state is rebuilt from scratch.
+    fn commit(&mut self, task: Task);
+
+    /// Removes the committed task with `id`; returns `false` if absent.
+    fn remove(&mut self, id: TaskId) -> bool;
+
+    /// The cached utilization triple of the committed tasks —
+    /// bit-identical to `self.tasks().system_utilization()`.
+    fn summary(&self) -> SystemUtilization;
+
+    /// The committed tasks.
+    fn tasks(&self) -> &TaskSet;
+
+    /// Takes the committed tasks out, leaving the state empty.
+    fn take_tasks(&mut self) -> TaskSet;
+
+    /// Counters accumulated since the state was created.
+    fn stats(&self) -> AdmissionStats;
+}
+
+/// A [`SchedulabilityTest`] with a native incremental admission state.
+///
+/// The one-shot [`is_schedulable`](SchedulabilityTest::is_schedulable)
+/// remains the semantic ground truth; `new_state` produces a state whose
+/// admissions are exactly equivalent but reuse cached per-processor work.
+/// The [`OneShot`] wrapper provides the blanket bridge in the other
+/// direction: it equips *any* one-shot test with a (clone-and-retest)
+/// admission state, so generic partitioning code can require
+/// `IncrementalTest` without excluding foreign tests.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::Task;
+/// use mcsched_analysis::{AdmissionState, AmcMax, IncrementalTest};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let mut state = AmcMax::new().new_state();
+/// let t = Task::hi(0, 10, 2, 4)?;
+/// assert!(state.try_admit(&t));
+/// state.commit(t);
+/// assert_eq!(state.tasks().len(), 1);
+/// assert!(state.remove(t.id()));
+/// assert!(state.tasks().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub trait IncrementalTest: SchedulabilityTest {
+    /// The per-processor admission state this test maintains.
+    type State: AdmissionState;
+
+    /// Creates an empty per-processor state.
+    fn new_state(&self) -> Self::State;
+}
+
+/// The committed contents shared by every admission state: the task set,
+/// its running utilization summary and the admission counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Committed {
+    pub(crate) tasks: TaskSet,
+    pub(crate) summary: SystemUtilization,
+    pub(crate) stats: AdmissionStats,
+}
+
+impl Committed {
+    /// Appends a task, keeping the summary in sync (accumulated in
+    /// insertion order, hence bit-identical to a recomputation).
+    pub(crate) fn push(&mut self, task: Task) {
+        self.summary.accumulate(&task);
+        self.tasks.push_unchecked(task);
+    }
+
+    /// Removes a task and recomputes the summary from scratch (exact
+    /// floating-point subtraction is not available).
+    pub(crate) fn remove(&mut self, id: TaskId) -> Option<Task> {
+        let task = self.tasks.remove(id)?;
+        self.summary = self.tasks.system_utilization();
+        Some(task)
+    }
+
+    /// Records one admission query in the counters.
+    pub(crate) fn record(&mut self, incremental: bool, admitted: bool) {
+        self.stats.attempts += 1;
+        if incremental {
+            self.stats.incremental += 1;
+        } else {
+            self.stats.full += 1;
+        }
+        if admitted {
+            self.stats.admits += 1;
+        }
+    }
+
+    /// Takes the tasks out, resetting the summary.
+    pub(crate) fn take(&mut self) -> TaskSet {
+        self.summary = SystemUtilization::default();
+        std::mem::take(&mut self.tasks)
+    }
+}
+
+/// Runs the one-shot test on `committed ∪ {task}` — the seed
+/// clone-and-retest admission every incremental state must agree with.
+pub(crate) fn clone_and_retest<T: SchedulabilityTest + ?Sized>(
+    test: &T,
+    committed: &TaskSet,
+    task: &Task,
+) -> bool {
+    let mut candidate = committed.clone();
+    candidate.push_unchecked(*task);
+    test.is_schedulable(&candidate)
+}
+
+/// The default [`AdmissionState`]: clone the committed set, append the
+/// candidate, re-run the one-shot test. This is exactly the seed path of
+/// the paper's Algorithm 1 and the reference the native states are
+/// validated against.
+pub struct CloneRetestState<'a, T: SchedulabilityTest + ?Sized> {
+    test: &'a T,
+    committed: Committed,
+}
+
+impl<'a, T: SchedulabilityTest + ?Sized> CloneRetestState<'a, T> {
+    /// Creates an empty state that re-tests through `test`.
+    pub fn new(test: &'a T) -> Self {
+        CloneRetestState {
+            test,
+            committed: Committed::default(),
+        }
+    }
+}
+
+impl<T: SchedulabilityTest + ?Sized> AdmissionState for CloneRetestState<'_, T> {
+    fn try_admit(&mut self, task: &Task) -> bool {
+        let ok = clone_and_retest(self.test, &self.committed.tasks, task);
+        self.committed.record(false, ok);
+        ok
+    }
+
+    fn commit(&mut self, task: Task) {
+        self.committed.push(task);
+    }
+
+    fn remove(&mut self, id: TaskId) -> bool {
+        self.committed.remove(id).is_some()
+    }
+
+    fn summary(&self) -> SystemUtilization {
+        self.committed.summary
+    }
+
+    fn tasks(&self) -> &TaskSet {
+        &self.committed.tasks
+    }
+
+    fn take_tasks(&mut self) -> TaskSet {
+        self.committed.take()
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        self.committed.stats
+    }
+}
+
+/// Wraps any one-shot test, forcing the clone-and-retest admission path
+/// even when the inner test has a native incremental state.
+///
+/// Two uses:
+///
+/// * the **blanket bridge**: `OneShot<T>` implements [`IncrementalTest`]
+///   for every cloneable one-shot test, so generic code can demand the
+///   incremental interface without excluding tests that lack a native
+///   state;
+/// * the **reference implementation**: benchmarks and the equivalence
+///   property tests compare a test's native state against
+///   `OneShot(test)`, which is the seed behaviour by construction.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::{Task, TaskSet};
+/// use mcsched_analysis::{AdmissionState, EdfVd, IncrementalTest, OneShot, SchedulabilityTest};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let reference = OneShot(EdfVd::new());
+/// assert_eq!(reference.name(), "EDF-VD");
+/// let mut fast = EdfVd::new().new_state();
+/// let mut slow = reference.new_state();
+/// let t = Task::hi(0, 10, 2, 5)?;
+/// assert_eq!(fast.try_admit(&t), slow.try_admit(&t));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OneShot<T>(pub T);
+
+impl<T: SchedulabilityTest> SchedulabilityTest for OneShot<T> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        self.0.is_schedulable(ts)
+    }
+
+    // Note: `admission_state` is deliberately *not* overridden — the whole
+    // point of the wrapper is to keep the clone-and-retest default.
+}
+
+impl<T: SchedulabilityTest + Clone> IncrementalTest for OneShot<T> {
+    type State = OneShotState<T>;
+
+    fn new_state(&self) -> OneShotState<T> {
+        OneShotState {
+            test: self.0.clone(),
+            committed: Committed::default(),
+        }
+    }
+}
+
+/// The owning variant of [`CloneRetestState`] used by the
+/// [`OneShot`] bridge (the typed [`IncrementalTest`] interface cannot
+/// borrow the test).
+pub struct OneShotState<T> {
+    test: T,
+    committed: Committed,
+}
+
+impl<T: SchedulabilityTest> AdmissionState for OneShotState<T> {
+    fn try_admit(&mut self, task: &Task) -> bool {
+        let ok = clone_and_retest(&self.test, &self.committed.tasks, task);
+        self.committed.record(false, ok);
+        ok
+    }
+
+    fn commit(&mut self, task: Task) {
+        self.committed.push(task);
+    }
+
+    fn remove(&mut self, id: TaskId) -> bool {
+        self.committed.remove(id).is_some()
+    }
+
+    fn summary(&self) -> SystemUtilization {
+        self.committed.summary
+    }
+
+    fn tasks(&self) -> &TaskSet {
+        &self.committed.tasks
+    }
+
+    fn take_tasks(&mut self) -> TaskSet {
+        self.committed.take()
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        self.committed.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey};
+
+    fn hi(id: u32, t: u64, cl: u64, ch: u64) -> Task {
+        Task::hi(id, t, cl, ch).unwrap()
+    }
+    fn lo(id: u32, t: u64, c: u64) -> Task {
+        Task::lo(id, t, c).unwrap()
+    }
+
+    /// Drives a state through admit/commit/reject/remove and checks it
+    /// agrees with the one-shot test at every step.
+    fn exercise_state(test: &dyn SchedulabilityTest) {
+        let mut state = test.admission_state();
+        let tasks = vec![hi(0, 10, 2, 4), lo(1, 20, 6), hi(2, 25, 3, 8), lo(3, 10, 3)];
+        for t in &tasks {
+            let expected = clone_and_retest(&test, state.tasks(), t);
+            assert_eq!(state.try_admit(t), expected, "{} on {t}", test.name());
+            if expected {
+                state.commit(*t);
+            }
+        }
+        // Summary stays bit-identical to a recomputation.
+        let fresh = state.tasks().system_utilization();
+        let cached = state.summary();
+        assert_eq!(cached.u_ll.to_bits(), fresh.u_ll.to_bits());
+        assert_eq!(cached.u_hl.to_bits(), fresh.u_hl.to_bits());
+        assert_eq!(cached.u_hh.to_bits(), fresh.u_hh.to_bits());
+        // Remove one and keep agreeing.
+        if let Some(first) = state.tasks().iter().next().copied() {
+            assert!(state.remove(first.id()));
+            assert!(!state.remove(first.id()));
+            let again = clone_and_retest(&test, state.tasks(), &first);
+            assert_eq!(state.try_admit(&first), again);
+        }
+        let stats = state.stats();
+        assert!(stats.attempts >= tasks.len() as u64);
+        assert!(stats.admits <= stats.attempts);
+        let n = state.tasks().len();
+        assert_eq!(state.take_tasks().len(), n);
+        assert!(state.tasks().is_empty());
+    }
+
+    #[test]
+    fn every_test_agrees_with_its_one_shot() {
+        let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
+            Box::new(EdfVd::new()),
+            Box::new(Ey::new()),
+            Box::new(Ecdf::new()),
+            Box::new(AmcRtb::new()),
+            Box::new(AmcRtb::with_audsley()),
+            Box::new(AmcMax::new()),
+        ];
+        for t in &tests {
+            exercise_state(t.as_ref());
+        }
+    }
+
+    #[test]
+    fn bridge_state_counts_full_analyses() {
+        let test = OneShot(EdfVd::new());
+        let mut state = test.new_state();
+        assert!(state.try_admit(&lo(0, 10, 1)));
+        state.commit(lo(0, 10, 1));
+        assert!(!state.try_admit(&lo(1, 10, 10)));
+        let stats = state.stats();
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.admits, 1);
+        assert_eq!(stats.full, 2);
+        assert_eq!(stats.incremental, 0);
+    }
+
+    #[test]
+    fn stats_merge_and_display() {
+        let mut a = AdmissionStats {
+            attempts: 3,
+            admits: 2,
+            incremental: 1,
+            full: 2,
+        };
+        let b = AdmissionStats {
+            attempts: 1,
+            admits: 0,
+            incremental: 1,
+            full: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.attempts, 4);
+        assert_eq!(a.admits, 2);
+        assert_eq!(a.incremental, 2);
+        assert_eq!(a.full, 2);
+        let s = a.to_string();
+        assert!(s.contains("4 attempts"));
+        assert!(s.contains("2 incremental"));
+    }
+
+    #[test]
+    fn dyn_default_uses_clone_retest() {
+        // A test type with no native state gets the bridge for free.
+        struct AlwaysYes;
+        impl SchedulabilityTest for AlwaysYes {
+            fn name(&self) -> &'static str {
+                "yes"
+            }
+            fn is_schedulable(&self, _: &TaskSet) -> bool {
+                true
+            }
+        }
+        let t = AlwaysYes;
+        let mut state = t.admission_state();
+        assert!(state.try_admit(&lo(0, 10, 9)));
+        state.commit(lo(0, 10, 9));
+        assert_eq!(state.stats().full, 1);
+        assert_eq!(state.tasks().len(), 1);
+    }
+}

@@ -16,6 +16,23 @@
 //! Every test implements the object-safe [`SchedulabilityTest`] trait, so
 //! partitioning strategies in `mcsched-core` can treat them uniformly.
 //!
+//! ## One-shot vs incremental
+//!
+//! The tests are usable through two layers:
+//!
+//! * **one-shot** — [`SchedulabilityTest::is_schedulable`] analyses a
+//!   whole task set from scratch; use it when a set is judged once.
+//! * **incremental** — the admission layer of [`incremental`]
+//!   ([`IncrementalTest`] / [`AdmissionState`]): a stateful per-processor
+//!   object that remembers the committed tasks and the reusable parts of
+//!   the last analysis, so partitioning inner loops pay only for what a
+//!   candidate task adds (O(1) closed forms for EDF-VD, cached seeds and
+//!   O(1) overload rejection for EY/ECDF, warm-started response-time
+//!   fixed points for AMC). Admission verdicts are *exactly* the one-shot
+//!   verdicts on the union — incremental partitions are bit-identical to
+//!   clone-and-retest ones. Tests without a native state fall back to the
+//!   clone-and-retest bridge ([`OneShot`] forces it explicitly).
+//!
 //! All arithmetic is exact over integer ticks ([`mcsched_model::Time`]);
 //! floating point only appears in the closed-form EDF-VD utilization test,
 //! where it mirrors the published test statement.
@@ -46,13 +63,17 @@ pub mod amc;
 pub mod classic;
 pub mod dbf;
 pub mod edfvd;
+pub mod incremental;
 pub mod vdtune;
 
-pub use amc::{AmcMax, AmcRtb, LoRta};
+pub use amc::{AmcMax, AmcRtb, AmcState, LoRta};
 pub use classic::{ClassicEdf, ClassicFp};
 pub use dbf::{DemandCheck, DemandCurve, VdTask};
-pub use edfvd::EdfVd;
-pub use vdtune::{Ecdf, Ey, VdAssignment};
+pub use edfvd::{EdfVd, EdfVdState};
+pub use incremental::{
+    AdmissionState, AdmissionStats, CloneRetestState, IncrementalTest, OneShot, OneShotState,
+};
+pub use vdtune::{Ecdf, Ey, VdAssignment, VdTuneState};
 
 use mcsched_model::TaskSet;
 
@@ -75,6 +96,18 @@ pub trait SchedulabilityTest {
     /// Tests are *sufficient*: `true` means guaranteed schedulable under the
     /// test's assumptions, `false` means "not proven schedulable".
     fn is_schedulable(&self, ts: &TaskSet) -> bool;
+
+    /// Creates an empty per-processor admission state (the stateful layer
+    /// of [`incremental`]).
+    ///
+    /// The default is the clone-and-retest bridge — exactly the seed
+    /// behaviour of the paper's Algorithm 1, one full analysis per query.
+    /// The five native tests override this with states whose admissions
+    /// are exactly equivalent but reuse cached per-processor work; see
+    /// [`IncrementalTest`] for the typed interface.
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(CloneRetestState::new(self))
+    }
 }
 
 impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for &T {
@@ -84,6 +117,9 @@ impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for &T {
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         (**self).is_schedulable(ts)
     }
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        (**self).admission_state()
+    }
 }
 
 impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for Box<T> {
@@ -92,6 +128,9 @@ impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for Box<T> {
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         (**self).is_schedulable(ts)
+    }
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        (**self).admission_state()
     }
 }
 

@@ -26,8 +26,9 @@
 //! evaluation relies on (`ECDF ⊇ EY`, with a visible gap).
 
 use crate::dbf::{self, DemandCheck, VdTask};
+use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
 use crate::SchedulabilityTest;
-use mcsched_model::{TaskSet, Time};
+use mcsched_model::{SystemUtilization, Task, TaskId, TaskSet, Time};
 
 /// A feasible virtual-deadline assignment produced by a tuner.
 ///
@@ -88,17 +89,19 @@ fn untightened(ts: &TaskSet) -> Vec<VdTask> {
 /// carry-over deadline would otherwise fall (tightest first), hence
 /// "earliest carry-over deadline first" seeding.
 fn slack_seeded(ts: &TaskSet) -> Vec<VdTask> {
-    ts.iter()
-        .map(|&t| {
-            if t.criticality().is_high() {
-                let slack = t.wcet_hi() - t.wcet_lo();
-                let vd = (t.deadline() - slack).max(t.wcet_lo());
-                VdTask { task: t, vd }
-            } else {
-                VdTask::untightened(t)
-            }
-        })
-        .collect()
+    ts.iter().map(|&t| slack_seeded_task(&t)).collect()
+}
+
+/// The per-task slack-seeded entry (shared with the incremental state's
+/// cached prefix so seeds never diverge from the one-shot path).
+fn slack_seeded_task(t: &Task) -> VdTask {
+    if t.criticality().is_high() {
+        let slack = t.wcet_hi() - t.wcet_lo();
+        let vd = (t.deadline() - slack).max(t.wcet_lo());
+        VdTask { task: *t, vd }
+    } else {
+        VdTask::untightened(*t)
+    }
 }
 
 /// One candidate tightening move for a HC task.
@@ -275,6 +278,17 @@ impl SchedulabilityTest for Ey {
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         self.tune(ts).is_some()
     }
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(self.new_state())
+    }
+}
+
+impl IncrementalTest for Ey {
+    type State = VdTuneState;
+
+    fn new_state(&self) -> VdTuneState {
+        VdTuneState::new(false)
+    }
 }
 
 /// The ECDF demand-bound test (Easwaran, RTSS 2013 style).
@@ -321,6 +335,147 @@ impl SchedulabilityTest for Ecdf {
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         self.tune(ts).is_some()
+    }
+    fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
+        Box::new(self.new_state())
+    }
+}
+
+impl IncrementalTest for Ecdf {
+    type State = VdTuneState;
+
+    fn new_state(&self) -> VdTuneState {
+        VdTuneState::new(true)
+    }
+}
+
+/// Incremental admission for the demand-bound tests ([`Ey`] / [`Ecdf`]).
+///
+/// The state caches, per committed processor:
+///
+/// * the running high-mode and low-mode utilization sums, so structurally
+///   overloaded candidates are rejected in **O(1)** (exactly the fast
+///   rejection [`tune`] performs, minus the O(n) re-summation);
+/// * the untightened and slack-seeded per-task virtual-deadline prefixes,
+///   so each tuner start appends a single entry instead of re-deriving
+///   every seed;
+/// * the utilization summary the partitioning fit rules read.
+///
+/// Verdicts stay exactly those of the one-shot tuner: the greedy descent
+/// itself runs unchanged on the cached seeds (its trajectory depends on
+/// the full task set, so reusing a *tuned* assignment as a warm start
+/// could accept sets the one-shot heuristic rejects — which would break
+/// the bit-identical partition guarantee).
+#[derive(Debug, Clone)]
+pub struct VdTuneState {
+    committed: Committed,
+    hi_util: f64,
+    lo_util: f64,
+    untightened: Vec<VdTask>,
+    seeded: Vec<VdTask>,
+    ecdf: bool,
+}
+
+impl VdTuneState {
+    fn new(ecdf: bool) -> Self {
+        VdTuneState {
+            committed: Committed::default(),
+            hi_util: 0.0,
+            lo_util: 0.0,
+            untightened: Vec::new(),
+            seeded: Vec::new(),
+            ecdf,
+        }
+    }
+
+    /// Rebuilds every cache from the committed tasks (after a removal).
+    fn resync(&mut self) {
+        let ts = &self.committed.tasks;
+        self.hi_util = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
+        self.lo_util = ts.utilization_lo_total();
+        self.untightened = untightened(ts);
+        self.seeded = slack_seeded(ts);
+    }
+
+    /// The candidate's untightened workspace: cached prefix + one entry.
+    fn untightened_with(&self, task: &Task) -> Vec<VdTask> {
+        let mut ws = Vec::with_capacity(self.untightened.len() + 1);
+        ws.extend_from_slice(&self.untightened);
+        ws.push(VdTask::untightened(*task));
+        ws
+    }
+}
+
+impl AdmissionState for VdTuneState {
+    fn try_admit(&mut self, task: &Task) -> bool {
+        // The structural rejection of `tune`, from running sums: the
+        // candidate terms append last, exactly as a fresh left-to-right
+        // summation over the union would add them.
+        let hi_util = if task.criticality().is_high() {
+            self.hi_util + task.utilization_hi()
+        } else {
+            self.hi_util
+        };
+        let lo_util = self.lo_util + task.utilization_lo();
+        if hi_util > 1.0 || lo_util > 1.0 {
+            self.committed.record(true, false);
+            return false;
+        }
+        // Same greedy starts, in the same order, as the one-shot
+        // `tune(ECDF).or_else(tune(EY))` / `tune(EY)` path.
+        let ok = if self.ecdf {
+            greedy(self.untightened_with(task), ECDF_EFFORT).is_some()
+                || {
+                    let mut seeded = Vec::with_capacity(self.seeded.len() + 1);
+                    seeded.extend_from_slice(&self.seeded);
+                    seeded.push(slack_seeded_task(task));
+                    greedy(seeded, ECDF_EFFORT).is_some()
+                }
+                || greedy(self.untightened_with(task), EY_EFFORT).is_some()
+        } else {
+            greedy(self.untightened_with(task), EY_EFFORT).is_some()
+        };
+        self.committed.record(false, ok);
+        ok
+    }
+
+    fn commit(&mut self, task: Task) {
+        if task.criticality().is_high() {
+            self.hi_util += task.utilization_hi();
+        }
+        self.lo_util += task.utilization_lo();
+        self.untightened.push(VdTask::untightened(task));
+        self.seeded.push(slack_seeded_task(&task));
+        self.committed.push(task);
+    }
+
+    fn remove(&mut self, id: TaskId) -> bool {
+        if self.committed.remove(id).is_none() {
+            return false;
+        }
+        self.resync();
+        true
+    }
+
+    fn summary(&self) -> SystemUtilization {
+        self.committed.summary
+    }
+
+    fn tasks(&self) -> &TaskSet {
+        &self.committed.tasks
+    }
+
+    fn take_tasks(&mut self) -> TaskSet {
+        let tasks = self.committed.take();
+        self.hi_util = 0.0;
+        self.lo_util = 0.0;
+        self.untightened.clear();
+        self.seeded.clear();
+        tasks
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        self.committed.stats
     }
 }
 
@@ -458,6 +613,46 @@ mod tests {
         ]);
         let a = Ey::new().tune(&ts).expect("no tuning needed");
         assert_eq!(a.virtual_deadline(0).unwrap(), Time::new(10));
+    }
+
+    #[test]
+    fn incremental_states_match_one_shot_exactly() {
+        let sequence = vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 8).unwrap(),
+            Task::hi_constrained(2, 20, 2, 6, 15).unwrap(),
+            Task::lo_constrained(3, 15, 3, 10).unwrap(),
+            Task::hi(4, 12, 3, 8).unwrap(),
+            Task::lo(5, 10, 6).unwrap(),
+        ];
+        let ey = Ey::new();
+        let ecdf = Ecdf::new();
+        let one_shot = |test: &dyn SchedulabilityTest, committed: &TaskSet, t: &Task| {
+            let mut union = committed.clone();
+            union.push_unchecked(*t);
+            test.is_schedulable(&union)
+        };
+        for (test, mut state) in [
+            (&ey as &dyn SchedulabilityTest, ey.new_state()),
+            (&ecdf as &dyn SchedulabilityTest, ecdf.new_state()),
+        ] {
+            for t in &sequence {
+                let expected = one_shot(test, state.tasks(), t);
+                assert_eq!(state.try_admit(t), expected, "{} on {t}", test.name());
+                if expected {
+                    state.commit(*t);
+                }
+            }
+            // Remove + retry stays in sync after the cache resync.
+            let first = *state.tasks().iter().next().unwrap();
+            assert!(state.remove(first.id()));
+            let expected = one_shot(test, state.tasks(), &first);
+            assert_eq!(state.try_admit(&first), expected);
+            // O(1) overload rejection is counted as incremental.
+            let impossible = Task::lo(99, 10, 10).unwrap();
+            assert!(!state.try_admit(&impossible));
+            assert!(state.stats().incremental >= 1);
+        }
     }
 
     #[test]

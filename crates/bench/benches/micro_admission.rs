@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the incremental admission layer: for each of the
+//! five uniprocessor tests, partition the same fixture sets through the
+//! native [`AdmissionState`](mcsched_analysis::AdmissionState) and through
+//! the [`OneShot`] clone-and-retest bridge (the seed behaviour). The two
+//! paths produce bit-identical partitions — the bench asserts it — so the
+//! ratio is a pure admission-layer speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, OneShot, SchedulabilityTest};
+use mcsched_bench::{fixture_sets, midload_point};
+use mcsched_core::{presets, Partition};
+use mcsched_gen::DeadlineModel;
+use mcsched_model::TaskSet;
+
+const M: usize = 8;
+
+fn accepted(test: &dyn SchedulabilityTest, sets: &[TaskSet]) -> usize {
+    sets.iter()
+        .filter(|ts| {
+            Partition::build(&presets::cu_udp(), test, std::hint::black_box(ts), M).is_ok()
+        })
+        .count()
+}
+
+fn bench_pair(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    incremental: &dyn SchedulabilityTest,
+    one_shot: &dyn SchedulabilityTest,
+    sets: &[TaskSet],
+) {
+    // The two paths must agree set-by-set (the equivalence guarantee).
+    for ts in sets {
+        assert_eq!(
+            Partition::build(&presets::cu_udp(), incremental, ts, M),
+            Partition::build(&presets::cu_udp(), one_shot, ts, M),
+            "{name}: incremental/one-shot divergence"
+        );
+    }
+    group.bench_with_input(BenchmarkId::new(name, "incremental"), sets, |b, sets| {
+        b.iter(|| accepted(incremental, sets))
+    });
+    group.bench_with_input(BenchmarkId::new(name, "one-shot"), sets, |b, sets| {
+        b.iter(|| accepted(one_shot, sets))
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission");
+    group.sample_size(10);
+    // EDF-VD and AMC admissions are cheap enough for a larger batch; the
+    // dbf tuners (EY/ECDF) dominate wall-clock, so they get a smaller one.
+    let batch = fixture_sets(M, midload_point(), DeadlineModel::Implicit, 12);
+    let dbf_batch = &batch[..4];
+
+    bench_pair(
+        &mut group,
+        "EDF-VD",
+        &EdfVd::new(),
+        &OneShot(EdfVd::new()),
+        &batch,
+    );
+    bench_pair(
+        &mut group,
+        "AMC-rtb",
+        &AmcRtb::new(),
+        &OneShot(AmcRtb::new()),
+        &batch,
+    );
+    bench_pair(
+        &mut group,
+        "AMC-max",
+        &AmcMax::new(),
+        &OneShot(AmcMax::new()),
+        &batch,
+    );
+    bench_pair(&mut group, "EY", &Ey::new(), &OneShot(Ey::new()), dbf_batch);
+    bench_pair(
+        &mut group,
+        "ECDF",
+        &Ecdf::new(),
+        &OneShot(Ecdf::new()),
+        dbf_batch,
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

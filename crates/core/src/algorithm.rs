@@ -4,7 +4,7 @@
 
 use crate::partition::{Partition, PartitionError};
 use crate::strategy::PartitionStrategy;
-use mcsched_analysis::SchedulabilityTest;
+use mcsched_analysis::{AdmissionStats, SchedulabilityTest};
 use mcsched_model::TaskSet;
 use std::fmt;
 
@@ -21,6 +21,18 @@ pub trait MultiprocessorTest {
 
     /// Attempts to partition; `Ok` is the schedulability witness.
     fn try_partition(&self, ts: &TaskSet, m: usize) -> Result<Partition, PartitionError>;
+
+    /// As [`try_partition`](MultiprocessorTest::try_partition), also
+    /// reporting the admission-layer statistics of the run. The default
+    /// reports empty stats; [`PartitionedAlgorithm`] overrides it with the
+    /// real counters.
+    fn try_partition_reporting(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        (self.try_partition(ts, m), AdmissionStats::default())
+    }
 
     /// `true` if the algorithm schedules the set on `m` processors.
     fn accepts(&self, ts: &TaskSet, m: usize) -> bool {
@@ -94,6 +106,16 @@ impl<T: SchedulabilityTest> PartitionedAlgorithm<T> {
     pub fn partition(&self, ts: &TaskSet, m: usize) -> Result<Partition, PartitionError> {
         Partition::build(&self.strategy, &self.test, ts, m)
     }
+
+    /// As [`partition`](PartitionedAlgorithm::partition), also returning
+    /// the aggregated admission statistics of the build.
+    pub fn partition_reporting(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        Partition::build_reporting(&self.strategy, &self.test, ts, m)
+    }
 }
 
 impl<T: SchedulabilityTest> MultiprocessorTest for PartitionedAlgorithm<T> {
@@ -103,6 +125,14 @@ impl<T: SchedulabilityTest> MultiprocessorTest for PartitionedAlgorithm<T> {
 
     fn try_partition(&self, ts: &TaskSet, m: usize) -> Result<Partition, PartitionError> {
         self.partition(ts, m)
+    }
+
+    fn try_partition_reporting(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        self.partition_reporting(ts, m)
     }
 }
 

@@ -50,3 +50,7 @@ mod strategy;
 pub use algorithm::{MultiprocessorTest, PartitionedAlgorithm};
 pub use partition::{verify_partition, Partition, PartitionError};
 pub use strategy::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy, StrategyBuilder};
+
+// The admission layer the partitioner is built on (see
+// `mcsched_analysis::incremental`), re-exported for downstream reporting.
+pub use mcsched_analysis::{AdmissionState, AdmissionStats, IncrementalTest, OneShot};

@@ -2,7 +2,7 @@
 //! resulting [`Partition`].
 
 use crate::strategy::PartitionStrategy;
-use mcsched_analysis::SchedulabilityTest;
+use mcsched_analysis::{AdmissionState, AdmissionStats, SchedulabilityTest};
 use mcsched_model::{SystemUtilization, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -18,15 +18,30 @@ pub struct PartitionError {
     pub placed: usize,
     /// The processor count.
     pub processors: usize,
+    /// How many tasks each processor held when the task was rejected
+    /// (`processor_loads[k]` is φk+1's task count), straight from the
+    /// per-processor admission states.
+    #[serde(default)]
+    pub processor_loads: Vec<usize>,
 }
 
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "task {} could not be allocated on any of {} processors ({} tasks placed)",
+            "task {} could not be allocated on any of {} processors ({} tasks placed",
             self.task, self.processors, self.placed
-        )
+        )?;
+        if !self.processor_loads.is_empty() {
+            write!(f, "; per-processor loads: ")?;
+            for (k, load) in self.processor_loads.iter().enumerate() {
+                if k > 0 {
+                    write!(f, "/")?;
+                }
+                write!(f, "{load}")?;
+            }
+        }
+        write!(f, ")")
     }
 }
 
@@ -65,6 +80,14 @@ impl Partition {
     /// tried in the order given by the task's fit rule; the first
     /// processor where the test accepts `τ(φk) ∪ {τi}` receives the task.
     ///
+    /// Admission runs through the test's stateful per-processor
+    /// [`AdmissionState`]s (`test.admission_state()`): rejected attempts
+    /// cost no `TaskSet` clone, fit rules read the cached utilization
+    /// summaries, and the five native tests reuse incremental analysis
+    /// state. Tests without a native state transparently fall back to the
+    /// clone-and-retest bridge; either way the resulting partition is
+    /// identical to the historical clone-and-retest construction.
+    ///
     /// # Errors
     ///
     /// Returns [`PartitionError`] naming the first task that fails on all
@@ -75,29 +98,56 @@ impl Partition {
         ts: &TaskSet,
         m: usize,
     ) -> Result<Self, PartitionError> {
-        let mut processors: Vec<TaskSet> = (0..m).map(|_| TaskSet::new()).collect();
+        Self::build_reporting(strategy, test, ts, m).0
+    }
+
+    /// As [`Partition::build`], also returning the aggregated
+    /// [`AdmissionStats`] of the run (attempts, admits, incremental vs
+    /// full re-analyses) — surfaced by `mcsched-exp --ablation`.
+    pub fn build_reporting(
+        strategy: &PartitionStrategy,
+        test: &dyn SchedulabilityTest,
+        ts: &TaskSet,
+        m: usize,
+    ) -> (Result<Self, PartitionError>, AdmissionStats) {
+        let mut states: Vec<Box<dyn AdmissionState + '_>> =
+            (0..m).map(|_| test.admission_state()).collect();
+        let total_stats = |states: &[Box<dyn AdmissionState + '_>]| {
+            let mut total = AdmissionStats::default();
+            for s in states {
+                total.merge(&s.stats());
+            }
+            total
+        };
         let sequence = strategy.order().sequence(ts);
+        let mut summaries: Vec<SystemUtilization> = vec![SystemUtilization::default(); m];
         for (placed, task) in sequence.iter().enumerate() {
-            let order = strategy.fit_for(task).processor_order(&processors);
+            let order = strategy
+                .fit_for(task)
+                .processor_order_by_summary(&summaries);
             let mut assigned = false;
             for k in order {
-                let mut candidate = processors[k].clone();
-                candidate.push_unchecked(*task);
-                if test.is_schedulable(&candidate) {
-                    processors[k] = candidate;
+                if states[k].try_admit(task) {
+                    states[k].commit(*task);
+                    summaries[k] = states[k].summary();
                     assigned = true;
                     break;
                 }
             }
             if !assigned {
-                return Err(PartitionError {
+                let error = PartitionError {
                     task: task.id(),
                     placed,
                     processors: m,
-                });
+                    processor_loads: states.iter().map(|s| s.tasks().len()).collect(),
+                };
+                let stats = total_stats(&states);
+                return (Err(error), stats);
             }
         }
-        Ok(Partition { processors })
+        let stats = total_stats(&states);
+        let processors = states.iter_mut().map(|s| s.take_tasks()).collect();
+        (Ok(Partition { processors }), stats)
     }
 
     /// Number of processors.
@@ -253,7 +303,38 @@ mod tests {
         let err = Partition::build(&presets::ca_udp(), &EdfVd::new(), &ts, 2).unwrap_err();
         assert_eq!(err.processors, 2);
         assert_eq!(err.placed, 2);
-        assert!(err.to_string().contains("could not be allocated"));
+        // Each processor held exactly one of the two placed tasks when the
+        // third was rejected.
+        assert_eq!(err.processor_loads, vec![1, 1]);
+        let msg = err.to_string();
+        assert!(msg.contains("could not be allocated"));
+        assert!(msg.contains("per-processor loads: 1/1"));
+    }
+
+    #[test]
+    fn build_reporting_counts_admissions() {
+        let (p, stats) =
+            Partition::build_reporting(&presets::ca_udp(), &EdfVd::new(), &small_set(), 2);
+        let p = p.unwrap();
+        assert_eq!(p.task_count(), 4);
+        assert_eq!(stats.admits, 4);
+        assert!(stats.attempts >= stats.admits);
+        // EDF-VD admissions are all O(1) incremental.
+        assert_eq!(stats.incremental, stats.attempts);
+        assert_eq!(stats.full, 0);
+    }
+
+    #[test]
+    fn incremental_build_matches_one_shot_bridge() {
+        use mcsched_analysis::OneShot;
+        let ts = small_set();
+        for strategy in presets::all() {
+            for m in 1..=3 {
+                let fast = Partition::build(&strategy, &EdfVd::new(), &ts, m);
+                let slow = Partition::build(&strategy, &OneShot(EdfVd::new()), &ts, m);
+                assert_eq!(fast, slow, "{} m={m}", strategy.name());
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Strategy vocabulary: allocation orders, balance metrics and fit rules.
 
-use mcsched_model::{Task, TaskSet};
+use mcsched_model::{SystemUtilization, Task, TaskSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -40,8 +40,7 @@ impl AllocationOrder {
         let mut tasks: Vec<Task> = ts.iter().copied().collect();
         let by_own_desc = |a: &Task, b: &Task| {
             b.utilization_own()
-                .partial_cmp(&a.utilization_own())
-                .expect("finite utilizations")
+                .total_cmp(&a.utilization_own())
                 .then_with(|| a.id().cmp(&b.id()))
         };
         match *self {
@@ -95,7 +94,13 @@ pub enum BalanceMetric {
 impl BalanceMetric {
     /// Evaluates the metric on a processor's current contents.
     pub fn evaluate(&self, proc: &TaskSet) -> f64 {
-        let u = proc.system_utilization();
+        self.evaluate_summary(&proc.system_utilization())
+    }
+
+    /// Evaluates the metric on a precomputed utilization triple — the
+    /// cached `summary()` of an incremental admission state, so fit rules
+    /// cost O(1) per processor instead of re-summing its tasks.
+    pub fn evaluate_summary(&self, u: &SystemUtilization) -> f64 {
         match self {
             BalanceMetric::UtilizationDifference => u.u_hh - u.u_hl,
             BalanceMetric::HiUtilization => u.u_hh,
@@ -133,26 +138,30 @@ pub enum FitRule {
 impl FitRule {
     /// Returns processor indices in the order this rule tries them.
     pub fn processor_order(&self, procs: &[TaskSet]) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..procs.len()).collect();
+        let summaries: Vec<SystemUtilization> =
+            procs.iter().map(TaskSet::system_utilization).collect();
+        self.processor_order_by_summary(&summaries)
+    }
+
+    /// As [`FitRule::processor_order`], over precomputed utilization
+    /// triples (the cached summaries of the incremental admission states).
+    pub fn processor_order_by_summary(&self, summaries: &[SystemUtilization]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..summaries.len()).collect();
         match self {
             FitRule::FirstFit => {}
             FitRule::WorstFit(metric) => {
-                let keys: Vec<f64> = procs.iter().map(|p| metric.evaluate(p)).collect();
-                idx.sort_by(|&a, &b| {
-                    keys[a]
-                        .partial_cmp(&keys[b])
-                        .expect("finite metric")
-                        .then_with(|| a.cmp(&b))
-                });
+                let keys: Vec<f64> = summaries
+                    .iter()
+                    .map(|u| metric.evaluate_summary(u))
+                    .collect();
+                idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then_with(|| a.cmp(&b)));
             }
             FitRule::BestFit(metric) => {
-                let keys: Vec<f64> = procs.iter().map(|p| metric.evaluate(p)).collect();
-                idx.sort_by(|&a, &b| {
-                    keys[b]
-                        .partial_cmp(&keys[a])
-                        .expect("finite metric")
-                        .then_with(|| a.cmp(&b))
-                });
+                let keys: Vec<f64> = summaries
+                    .iter()
+                    .map(|u| metric.evaluate_summary(u))
+                    .collect();
+                idx.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]).then_with(|| a.cmp(&b)));
             }
         }
         idx
@@ -367,6 +376,45 @@ mod tests {
         let procs = vec![TaskSet::new(), heavy, TaskSet::new()];
         let order = FitRule::BestFit(BalanceMetric::UtilizationDifference).processor_order(&procs);
         assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn summary_order_matches_taskset_order() {
+        let mut heavy = TaskSet::new();
+        heavy.push_unchecked(Task::hi(9, 10, 1, 9).unwrap());
+        let mut light = TaskSet::new();
+        light.push_unchecked(Task::hi(8, 10, 4, 5).unwrap());
+        let procs = vec![heavy, TaskSet::new(), light];
+        let summaries: Vec<SystemUtilization> =
+            procs.iter().map(TaskSet::system_utilization).collect();
+        for fit in [
+            FitRule::FirstFit,
+            FitRule::WorstFit(BalanceMetric::UtilizationDifference),
+            FitRule::BestFit(BalanceMetric::LoModeLoad),
+        ] {
+            assert_eq!(
+                fit.processor_order(&procs),
+                fit.processor_order_by_summary(&summaries),
+                "{fit}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_keys_do_not_panic() {
+        // total_cmp gives NaN a defined order instead of panicking.
+        let summaries = vec![
+            SystemUtilization {
+                u_ll: 0.0,
+                u_hl: 0.0,
+                u_hh: f64::NAN,
+            },
+            SystemUtilization::default(),
+        ];
+        let order =
+            FitRule::WorstFit(BalanceMetric::HiUtilization).processor_order_by_summary(&summaries);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 1, "NaN sorts after every finite key");
     }
 
     #[test]

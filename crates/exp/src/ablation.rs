@@ -15,8 +15,9 @@
 //! variant over the Fig. 3 workload, so a single number summarises each
 //! design decision.
 
-use crate::algorithms::{ablation_lineup, amc_ablation_lineup};
+use crate::algorithms::{ablation_lineup, amc_ablation_lineup, AlgoBox};
 use crate::sweep::{acceptance_sweep, SweepConfig};
+use mcsched_core::AdmissionStats;
 use mcsched_gen::DeadlineModel;
 use serde::{Deserialize, Serialize};
 
@@ -71,9 +72,68 @@ pub fn amc_ablation(
         .collect()
 }
 
+/// Per-algorithm admission-layer counters over a seeded corpus: how many
+/// `(task, processor)` admission queries each strategy issued and how many
+/// were answered incrementally vs by a full re-analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRow {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Task sets judged.
+    pub sets: usize,
+    /// Sets accepted.
+    pub accepted: usize,
+    /// Aggregated admission counters.
+    pub stats: AdmissionStats,
+}
+
+/// Profiles the admission layer: runs every algorithm of the line-up over
+/// the same seeded corpus and aggregates its per-build
+/// [`AdmissionStats`]. This is the throughput sweep of
+/// [`partition_throughput`](crate::perf::partition_throughput) with the
+/// timing columns dropped.
+pub fn admission_profile(
+    m: usize,
+    sets: usize,
+    seed: u64,
+    algorithms: &[AlgoBox],
+) -> Vec<AdmissionRow> {
+    crate::perf::partition_throughput(m, sets, seed, algorithms)
+        .rows
+        .into_iter()
+        .map(|r| AdmissionRow {
+            algorithm: r.algorithm,
+            sets: r.sets,
+            accepted: r.accepted,
+            stats: r.stats,
+        })
+        .collect()
+}
+
+/// Renders admission-profile rows as a markdown table.
+pub fn render_admission(rows: &[AdmissionRow]) -> String {
+    let mut out = String::from(
+        "| algorithm | sets | accepted | attempts | admits | incremental | full |\n\
+         |----|----|----|----|----|----|----|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.algorithm,
+            r.sets,
+            r.accepted,
+            r.stats.attempts,
+            r.stats.admits,
+            r.stats.incremental,
+            r.stats.full
+        ));
+    }
+    out
+}
+
 /// Renders ablation rows as a markdown table, best first.
 pub fn render_ablation(title: &str, mut rows: Vec<AblationRow>) -> String {
-    rows.sort_by(|a, b| b.war.partial_cmp(&a.war).expect("finite"));
+    rows.sort_by(|a, b| b.war.total_cmp(&a.war));
     let mut out = format!("| {title} | WAR |\n|----|-----|\n");
     for r in rows {
         out.push_str(&format!("| {} | {:.4} |\n", r.algorithm, r.war));
@@ -104,6 +164,26 @@ mod tests {
         };
         // AMC-max dominates AMC-rtb, so its WAR can never be lower.
         assert!(war("max") >= war("rtb") - 1e-9);
+    }
+
+    #[test]
+    fn admission_profile_counts_queries() {
+        use crate::algorithms::perf_lineup;
+        let rows = admission_profile(2, 4, 7, &perf_lineup());
+        assert_eq!(rows.len(), perf_lineup().len());
+        for r in &rows {
+            assert_eq!(r.sets, 4);
+            assert!(r.stats.attempts >= r.stats.admits);
+            assert_eq!(r.stats.attempts, r.stats.incremental + r.stats.full);
+            // The native states answer every query without a full
+            // clone-and-retest re-analysis on the reject fast path;
+            // EDF-VD answers all of them incrementally.
+            if r.algorithm.contains("EDF-VD") {
+                assert_eq!(r.stats.full, 0, "{}", r.algorithm);
+            }
+        }
+        let table = render_admission(&rows);
+        assert!(table.contains("incremental"));
     }
 
     #[test]

@@ -99,6 +99,26 @@ pub fn ablation_lineup() -> Vec<AlgoBox> {
     ]
 }
 
+/// Throughput line-up for the `BENCH_partition.json` perf artifact: the
+/// Fig. 3 EDF-VD algorithms plus one representative of each remaining
+/// uniprocessor-test family (dbf-based ECDF/EY and response-time AMC), so
+/// the perf trajectory covers every admission-state implementation.
+pub fn perf_lineup() -> Vec<AlgoBox> {
+    let mut lineup = fig3_lineup();
+    lineup.push(Box::new(PartitionedAlgorithm::new(
+        presets::cu_udp(),
+        Ecdf::new(),
+    )));
+    lineup.push(Box::new(PartitionedAlgorithm::new(
+        presets::cu_udp(),
+        Ey::new(),
+    )));
+    lineup.push(Box::new(
+        PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new()).with_name("CU-UDP-AMC"),
+    ));
+    lineup
+}
+
 /// AMC-variant ablation: AMC-max vs AMC-rtb under the CU-UDP strategy.
 pub fn amc_ablation_lineup() -> Vec<AlgoBox> {
     vec![
@@ -141,5 +161,14 @@ mod tests {
         assert_eq!(amc_ablation_lineup().len(), 2);
         assert_eq!(fig6a_lineup().len(), 3);
         assert!(fig6b_lineup().len() >= 4);
+    }
+
+    #[test]
+    fn perf_lineup_covers_every_test_family() {
+        let names: Vec<String> = perf_lineup().iter().map(|a| a.name().to_owned()).collect();
+        assert!(names.iter().any(|n| n.contains("EDF-VD")));
+        assert!(names.iter().any(|n| n.contains("ECDF")));
+        assert!(names.iter().any(|n| n.ends_with("EY")));
+        assert!(names.iter().any(|n| n.contains("AMC")));
     }
 }

@@ -124,10 +124,7 @@ fn push_no_bound_headlines(
             .filter_map(|b| best_gain(result, udp_names, b))
             .collect();
         // Gain over the *stronger* baseline = min over baselines.
-        if let Some((algo, ub, gain)) = gains
-            .into_iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
-        {
+        if let Some((algo, ub, gain)) = gains.into_iter().min_by(|a, b| a.2.total_cmp(&b.2)) {
             out.push(Headline {
                 figure: format!("{figure}/{tag}"),
                 m,

@@ -35,8 +35,10 @@ pub mod algorithms;
 pub mod figures;
 pub mod headline;
 pub mod isolation;
+pub mod perf;
 pub mod report;
 pub mod sweep;
 
-pub use algorithms::{fig3_lineup, fig4_lineup, AlgoBox};
+pub use algorithms::{fig3_lineup, fig4_lineup, perf_lineup, AlgoBox};
+pub use perf::{partition_throughput, PerfReport, PerfRow};
 pub use sweep::{AcceptanceCurve, SweepConfig, SweepResult};

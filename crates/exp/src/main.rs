@@ -12,12 +12,16 @@
 //! Defaults: `--sets 200` (the paper uses 1000; raise it for final runs),
 //! `--seed 42`, `--threads` = available parallelism.
 
-use mcsched_exp::ablation::{amc_ablation, render_ablation, strategy_ablation};
+use mcsched_exp::ablation::{
+    admission_profile, amc_ablation, render_ablation, render_admission, strategy_ablation,
+};
+use mcsched_exp::algorithms::perf_lineup;
 use mcsched_exp::figures::{
     fig3_panel, fig4_panel, fig5_panel, fig6a, fig6b, render_war_table, FIGURE_M,
 };
 use mcsched_exp::headline::{headlines, render_headlines};
 use mcsched_exp::isolation::{isolation_experiment, render_isolation};
+use mcsched_exp::perf::{partition_throughput, render_perf, write_perf_json};
 use mcsched_exp::report::{render_table, write_csv};
 use mcsched_exp::sweep::default_threads;
 use std::path::PathBuf;
@@ -34,6 +38,7 @@ struct Args {
     ablation: bool,
     isolation: bool,
     all: bool,
+    perf_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         ablation: false,
         isolation: false,
         all: false,
+        perf_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -83,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
+            "--perf-json" => args.perf_json = Some(PathBuf::from(value(&mut i)?)),
             "--headline" => args.headline = true,
             "--ablation" => args.ablation = true,
             "--isolation" => args.isolation = true,
@@ -100,7 +107,8 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "mcexp — regenerate the DATE 2017 UDP partitioning figures
 usage: mcexp [--fig 3|4|5|6a|6b] [--headline] [--ablation] [--isolation] [--all]
-             [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]";
+             [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
+             [--perf-json FILE]   # partition-throughput artifact (BENCH_partition.json)";
 
 fn run_panel_figure(
     fig: &str,
@@ -188,6 +196,14 @@ fn main() {
         let rows = amc_ablation(m, args.sets, args.seed, args.threads);
         println!("\n## AMC variant ablation (m = {m}, constrained)\n");
         println!("{}", render_ablation("AMC variant", rows));
+
+        eprintln!(
+            "[mcexp] admission-layer profile m={m} sets={} ...",
+            args.sets
+        );
+        let rows = admission_profile(m, args.sets, args.seed, &perf_lineup());
+        println!("\n## Admission-layer profile (m = {m}, seeded corpus)\n");
+        println!("{}", render_admission(&rows));
     }
 
     if args.isolation || args.all {
@@ -197,6 +213,22 @@ fn main() {
             let r = isolation_experiment(m, args.sets.min(100), args.seed, 0.25, 20_000);
             println!("\n## Mode-switch isolation (m = {m}, 25% overruns)\n");
             println!("{}", render_isolation(&r));
+        }
+    }
+
+    if let Some(path) = &args.perf_json {
+        did_something = true;
+        let m = args.m_values.first().copied().unwrap_or(2);
+        eprintln!("[mcexp] partition throughput m={m} sets={} ...", args.sets);
+        let report = partition_throughput(m, args.sets, args.seed, &perf_lineup());
+        println!("\n## Partition throughput (m = {m})\n");
+        println!("{}", render_perf(&report));
+        match write_perf_json(&report, path) {
+            Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[mcexp] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 

@@ -1,0 +1,185 @@
+//! Partition-throughput measurement: the `BENCH_partition.json` artifact
+//! CI uploads to track the admission layer's performance trajectory.
+//!
+//! A seeded corpus of generated task sets is pushed through each algorithm
+//! of the line-up; the report records wall-clock throughput plus the
+//! admission-layer counters (attempts, admits, incremental vs full
+//! re-analyses) so regressions in either dimension are visible.
+
+use crate::algorithms::AlgoBox;
+use mcsched_core::AdmissionStats;
+use mcsched_gen::{utilization_grid, DeadlineModel, TaskSetSpec};
+use mcsched_model::TaskSet;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// One algorithm's throughput over the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfRow {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Task sets judged.
+    pub sets: usize,
+    /// Sets accepted (successfully partitioned).
+    pub accepted: usize,
+    /// Wall-clock time for the whole corpus, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Corpus throughput, task sets per second.
+    pub sets_per_second: f64,
+    /// Aggregated admission-layer counters over the corpus.
+    pub stats: AdmissionStats,
+}
+
+/// The full throughput report (serialized to `BENCH_partition.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfReport {
+    /// Processor count.
+    pub m: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Corpus size.
+    pub sets: usize,
+    /// One row per algorithm.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Generates a deterministic corpus of `count` task sets at mid-to-high
+/// load (`UB ∈ [0.5, 0.9]`), where admission decisions are non-trivial.
+pub fn seeded_corpus(m: usize, count: usize, seed: u64) -> Vec<TaskSet> {
+    let points: Vec<_> = utilization_grid()
+        .into_iter()
+        .filter(|p| (0.5..=0.9).contains(&p.ub()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 40 {
+        guard += 1;
+        let point = points[rng.random_range(0..points.len())];
+        let spec = TaskSetSpec::paper_defaults(m, point, DeadlineModel::Implicit);
+        if let Ok(ts) = spec.generate(&mut rng) {
+            out.push(ts);
+        }
+    }
+    out
+}
+
+/// Measures every algorithm over the same seeded corpus.
+pub fn partition_throughput(
+    m: usize,
+    sets: usize,
+    seed: u64,
+    algorithms: &[AlgoBox],
+) -> PerfReport {
+    let corpus = seeded_corpus(m, sets, seed);
+    let rows = algorithms
+        .iter()
+        .map(|algo| {
+            let mut stats = AdmissionStats::default();
+            let mut accepted = 0usize;
+            let start = Instant::now();
+            for ts in &corpus {
+                let (result, s) = algo.try_partition_reporting(ts, m);
+                stats.merge(&s);
+                if result.is_ok() {
+                    accepted += 1;
+                }
+            }
+            let elapsed = start.elapsed();
+            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+            PerfRow {
+                algorithm: algo.name().to_owned(),
+                sets: corpus.len(),
+                accepted,
+                elapsed_ms,
+                sets_per_second: if elapsed.as_secs_f64() > 0.0 {
+                    corpus.len() as f64 / elapsed.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                },
+                stats,
+            }
+        })
+        .collect();
+    PerfReport {
+        m,
+        seed,
+        sets: corpus.len(),
+        rows,
+    }
+}
+
+/// Writes the report as pretty-printed JSON.
+pub fn write_perf_json(report: &PerfReport, path: &Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
+/// Renders the report as a markdown table.
+pub fn render_perf(report: &PerfReport) -> String {
+    let mut out = format!(
+        "| algorithm (m = {}) | sets | accepted | ms | sets/s | attempts | incr | full |\n\
+         |----|----|----|----|----|----|----|----|\n",
+        report.m
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {:.0} | {} | {} | {} |\n",
+            r.algorithm,
+            r.sets,
+            r.accepted,
+            r.elapsed_ms,
+            r.sets_per_second,
+            r.stats.attempts,
+            r.stats.incremental,
+            r.stats.full
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::perf_lineup;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let a = seeded_corpus(2, 6, 11);
+        let b = seeded_corpus(2, 6, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn throughput_report_shape() {
+        let report = partition_throughput(2, 4, 3, &perf_lineup());
+        assert_eq!(report.sets, 4);
+        assert!(!report.rows.is_empty());
+        for r in &report.rows {
+            assert_eq!(r.sets, 4);
+            assert!(r.accepted <= r.sets);
+            assert!(r.stats.attempts >= r.stats.admits);
+            // Every query is either incremental or full.
+            assert_eq!(r.stats.attempts, r.stats.incremental + r.stats.full);
+        }
+        let table = render_perf(&report);
+        assert!(table.contains("sets/s"));
+    }
+
+    #[test]
+    fn json_written_to_disk() {
+        let report = partition_throughput(2, 2, 5, &perf_lineup());
+        let dir = std::env::temp_dir().join("mcsched_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_partition.json");
+        write_perf_json(&report, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("sets_per_second"));
+        assert!(text.contains("\"rows\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -75,12 +75,7 @@ impl AcceptanceCurve {
     pub fn ratio_at(&self, ub: f64) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - ub)
-                    .abs()
-                    .partial_cmp(&(b.0 - ub).abs())
-                    .expect("finite")
-            })
+            .min_by(|a, b| (a.0 - ub).abs().total_cmp(&(b.0 - ub).abs()))
             .map(|&(_, r)| r)
     }
 

@@ -57,6 +57,35 @@ pub struct SystemUtilization {
 }
 
 impl SystemUtilization {
+    /// Adds one task's contribution to the running sums.
+    ///
+    /// This is the single accumulation routine shared by
+    /// [`TaskSet::system_utilization`] and the incremental admission states
+    /// in `mcsched-analysis`: because both paths add the same per-task terms
+    /// in the same (insertion) order, a cached running triple is
+    /// **bit-identical** to a from-scratch recomputation — which is what
+    /// lets incremental partitioning reproduce the clone-and-retest
+    /// partitions exactly.
+    #[inline]
+    pub fn accumulate(&mut self, task: &Task) {
+        match task.criticality() {
+            Criticality::Low => self.u_ll += task.utilization_lo(),
+            Criticality::High => {
+                self.u_hl += task.utilization_lo();
+                self.u_hh += task.utilization_hi();
+            }
+        }
+    }
+
+    /// The triple with `task`'s contribution added last (the candidate
+    /// summary an admission test evaluates before committing).
+    #[inline]
+    #[must_use]
+    pub fn with_task(mut self, task: &Task) -> Self {
+        self.accumulate(task);
+        self
+    }
+
     /// The utilization difference `u_hh − u_hl` — the quantity UDP
     /// balances across processors.
     #[inline]
@@ -183,6 +212,13 @@ impl TaskSet {
         self.tasks.iter().find(|t| t.id() == id)
     }
 
+    /// Removes the task with `id`, preserving the order of the remaining
+    /// tasks. Returns the removed task, or `None` if absent.
+    pub fn remove(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.tasks.iter().position(|t| t.id() == id)?;
+        Some(self.tasks.remove(pos))
+    }
+
     /// Iterates over the high-criticality tasks (`τH`).
     pub fn hi_tasks(&self) -> impl Iterator<Item = &Task> {
         self.tasks.iter().filter(|t| t.criticality().is_high())
@@ -208,13 +244,7 @@ impl TaskSet {
     pub fn system_utilization(&self) -> SystemUtilization {
         let mut u = SystemUtilization::default();
         for t in &self.tasks {
-            match t.criticality() {
-                Criticality::Low => u.u_ll += t.utilization_lo(),
-                Criticality::High => {
-                    u.u_hl += t.utilization_lo();
-                    u.u_hh += t.utilization_hi();
-                }
-            }
+            u.accumulate(t);
         }
         u
     }
@@ -446,6 +476,38 @@ mod tests {
         assert!(s.contains("TaskSet (4 tasks):"));
         assert!(s.contains("τ0"));
         assert!(s.contains("τ3"));
+    }
+
+    #[test]
+    fn accumulate_matches_from_scratch_bitwise() {
+        // The incremental admission layer relies on running sums being
+        // bit-identical to a recomputation in insertion order.
+        let ts = sample();
+        let mut running = SystemUtilization::default();
+        for t in &ts {
+            running.accumulate(t);
+        }
+        let fresh = ts.system_utilization();
+        assert_eq!(running.u_ll.to_bits(), fresh.u_ll.to_bits());
+        assert_eq!(running.u_hl.to_bits(), fresh.u_hl.to_bits());
+        assert_eq!(running.u_hh.to_bits(), fresh.u_hh.to_bits());
+        let extra = Task::hi(9, 30, 3, 7).unwrap();
+        let candidate = running.with_task(&extra);
+        let mut grown = ts.clone();
+        grown.push_unchecked(extra);
+        let fresh = grown.system_utilization();
+        assert_eq!(candidate.u_hl.to_bits(), fresh.u_hl.to_bits());
+        assert_eq!(candidate.u_hh.to_bits(), fresh.u_hh.to_bits());
+    }
+
+    #[test]
+    fn remove_by_id_preserves_order() {
+        let mut ts = sample();
+        let removed = ts.remove(TaskId(1)).unwrap();
+        assert_eq!(removed.id(), TaskId(1));
+        let ids: Vec<u32> = ts.iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert!(ts.remove(TaskId(1)).is_none());
     }
 
     #[test]
