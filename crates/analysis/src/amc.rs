@@ -506,7 +506,7 @@ struct AmcCache {
 /// unchanged), so those response times are reused verbatim; the candidate
 /// and the tasks below it re-run their fixed-point iterations
 /// **warm-started** from the previous responses, which converge to the
-/// same least fixed points (see [`fixpoint_from`]) — the verdict is
+/// same least fixed points (see `fixpoint_from`) — the verdict is
 /// exactly the one-shot test's, at a fraction of the iterations.
 #[derive(Debug, Clone)]
 pub struct AmcState {

@@ -355,7 +355,7 @@ impl IncrementalTest for Ecdf {
 ///
 /// * the running high-mode and low-mode utilization sums, so structurally
 ///   overloaded candidates are rejected in **O(1)** (exactly the fast
-///   rejection [`tune`] performs, minus the O(n) re-summation);
+///   rejection `tune` performs, minus the O(n) re-summation);
 /// * the untightened and slack-seeded per-task virtual-deadline prefixes,
 ///   so each tuner start appends a single entry instead of re-deriving
 ///   every seed;

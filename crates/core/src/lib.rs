@@ -45,10 +45,12 @@
 mod algorithm;
 mod partition;
 pub mod presets;
+pub mod registry;
 mod strategy;
 
 pub use algorithm::{MultiprocessorTest, PartitionedAlgorithm};
 pub use partition::{verify_partition, Partition, PartitionError};
+pub use registry::{AlgoBox, AlgorithmRegistry, AlgorithmSpec, RegistryError, TestName};
 pub use strategy::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy, StrategyBuilder};
 
 // The admission layer the partitioner is built on (see

@@ -8,12 +8,13 @@
 //! **LC service ratio** — completed LC jobs over attempted LC jobs
 //! (completed + dropped) — for each.
 
+use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
 use mcsched_analysis::EdfVd;
 use mcsched_core::{presets, PartitionedAlgorithm};
 use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
 use mcsched_model::{Criticality, TaskSet};
 use mcsched_sim::{GlobalSimulator, PartitionedSimulator, Policy, Scenario, TraceEvent};
-use rand::{rngs::StdRng, SeedableRng};
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate outcome of the isolation experiment.
@@ -51,62 +52,143 @@ fn lc_service(ts: &TaskSet, trace: &[TraceEvent]) -> (u64, u64) {
     (completed, dropped)
 }
 
+/// One workload's counters under both regimes.
+struct IsolationSample {
+    p_comp: u64,
+    p_drop: u64,
+    p_sw: u64,
+    g_comp: u64,
+    g_drop: u64,
+    g_sw: u64,
+}
+
+#[derive(Default)]
+struct IsolationTotals {
+    measured: usize,
+    p_comp: u64,
+    p_drop: u64,
+    p_sw: u64,
+    g_comp: u64,
+    g_drop: u64,
+    g_sw: u64,
+}
+
+impl Accumulator for IsolationTotals {
+    type Output = IsolationSample;
+
+    fn absorb(&mut self, s: IsolationSample) {
+        self.measured += 1;
+        self.p_comp += s.p_comp;
+        self.p_drop += s.p_drop;
+        self.p_sw += s.p_sw;
+        self.g_comp += s.g_comp;
+        self.g_drop += s.g_drop;
+        self.g_sw += s.g_sw;
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.measured += other.measured;
+        self.p_comp += other.p_comp;
+        self.p_drop += other.p_drop;
+        self.p_sw += other.p_sw;
+        self.g_comp += other.g_comp;
+        self.g_drop += other.g_drop;
+        self.g_sw += other.g_sw;
+    }
+}
+
+/// One item = one partitionable workload simulated under both regimes.
+struct IsolationEvaluator {
+    m: usize,
+    seed: u64,
+    overrun_prob: f64,
+    horizon: u64,
+    point: GridPoint,
+    algo: PartitionedAlgorithm<EdfVd>,
+}
+
+impl Evaluator for IsolationEvaluator {
+    type Output = IsolationSample;
+    type Acc = IsolationTotals;
+
+    fn evaluate(&self, index: usize, rng: &mut StdRng) -> Option<IsolationSample> {
+        // Retry generation/partitioning inside the item's own RNG stream;
+        // infeasible draws at this mid-load grid point are rare.
+        let (ts, partition) = (0..30).find_map(|_| {
+            let spec = TaskSetSpec::paper_defaults(self.m, self.point, DeadlineModel::Implicit);
+            let ts = spec.generate(rng).ok()?;
+            let partition = self.algo.partition(&ts, self.m).ok()?;
+            Some((ts, partition))
+        })?;
+        let scenario =
+            Scenario::random_overrun(self.overrun_prob, self.seed.wrapping_add(index as u64 + 1));
+
+        let mut sample = IsolationSample {
+            p_comp: 0,
+            p_drop: 0,
+            p_sw: 0,
+            g_comp: 0,
+            g_drop: 0,
+            g_sw: 0,
+        };
+        let sim = PartitionedSimulator::from_partition(&partition, |proc| {
+            let x = EdfVd::new().scaling_factor(proc).unwrap_or(1.0);
+            Policy::edf_vd_scaled(proc, x)
+        })
+        .with_trace();
+        for (k, report) in sim.run(&scenario, self.horizon).iter().enumerate() {
+            let proc = partition.processor(k).expect("processor exists");
+            let (c, d) = lc_service(proc, report.trace());
+            sample.p_comp += c;
+            sample.p_drop += d;
+            sample.p_sw += u64::from(report.mode_switches());
+        }
+
+        // Global EDF with the same broadcast mode machinery (virtual
+        // deadlines are a uniprocessor construct; plain EDF is the natural
+        // global dynamic-priority counterpart).
+        let global = GlobalSimulator::new(&ts, Policy::Edf, self.m).with_trace();
+        let report = global.run(&scenario, self.horizon);
+        let (c, d) = lc_service(&ts, report.trace());
+        sample.g_comp += c;
+        sample.g_drop += d;
+        sample.g_sw += u64::from(report.mode_switches());
+        Some(sample)
+    }
+
+    fn accumulator(&self) -> IsolationTotals {
+        IsolationTotals::default()
+    }
+}
+
 /// Runs the experiment: `sets` partitionable workloads on `m` processors,
-/// each executed for `horizon` ticks with `overrun_prob` HC overruns.
+/// each executed for `horizon` ticks with `overrun_prob` HC overruns,
+/// sharded over `threads` engine workers.
+///
+/// Each workload is one item of a shared-engine batch with its own
+/// deterministic RNG stream, so the result depends only on the arguments
+/// (never on the thread count).
 pub fn isolation_experiment(
     m: usize,
     sets: usize,
     seed: u64,
     overrun_prob: f64,
     horizon: u64,
+    threads: usize,
 ) -> IsolationResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let point = GridPoint {
-        u_hh: 0.5,
-        u_hl: 0.25,
-        u_ll: 0.35,
+    let evaluator = IsolationEvaluator {
+        m,
+        seed,
+        overrun_prob,
+        horizon,
+        point: GridPoint {
+            u_hh: 0.5,
+            u_hl: 0.25,
+            u_ll: 0.35,
+        },
+        algo: PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new()),
     };
-    let algo = PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new());
-
-    let mut measured = 0usize;
-    let (mut p_comp, mut p_drop, mut g_comp, mut g_drop) = (0u64, 0u64, 0u64, 0u64);
-    let (mut p_sw, mut g_sw) = (0u64, 0u64);
-    let mut guard = 0usize;
-    while measured < sets && guard < sets * 30 {
-        guard += 1;
-        let spec = TaskSetSpec::paper_defaults(m, point, DeadlineModel::Implicit);
-        let Ok(ts) = spec.generate(&mut rng) else {
-            continue;
-        };
-        let Ok(partition) = algo.partition(&ts, m) else {
-            continue;
-        };
-        measured += 1;
-        let scenario = Scenario::random_overrun(overrun_prob, seed.wrapping_add(measured as u64));
-
-        let sim = PartitionedSimulator::from_partition(&partition, |proc| {
-            let x = EdfVd::new().scaling_factor(proc).unwrap_or(1.0);
-            Policy::edf_vd_scaled(proc, x)
-        })
-        .with_trace();
-        for (k, report) in sim.run(&scenario, horizon).iter().enumerate() {
-            let proc = partition.processor(k).expect("processor exists");
-            let (c, d) = lc_service(proc, report.trace());
-            p_comp += c;
-            p_drop += d;
-            p_sw += u64::from(report.mode_switches());
-        }
-
-        // Global EDF with the same broadcast mode machinery (virtual
-        // deadlines are a uniprocessor construct; plain EDF is the natural
-        // global dynamic-priority counterpart).
-        let global = GlobalSimulator::new(&ts, Policy::Edf, m).with_trace();
-        let report = global.run(&scenario, horizon);
-        let (c, d) = lc_service(&ts, report.trace());
-        g_comp += c;
-        g_drop += d;
-        g_sw += u64::from(report.mode_switches());
-    }
+    let totals = run_batch(&Batch::new(sets, seed).with_threads(threads), &evaluator);
 
     let ratio = |c: u64, d: u64| {
         if c + d == 0 {
@@ -116,11 +198,11 @@ pub fn isolation_experiment(
         }
     };
     IsolationResult {
-        sets: measured,
-        partitioned_lc_service: ratio(p_comp, p_drop),
-        global_lc_service: ratio(g_comp, g_drop),
-        partitioned_switches: p_sw as f64 / measured.max(1) as f64,
-        global_switches: g_sw as f64 / measured.max(1) as f64,
+        sets: totals.measured,
+        partitioned_lc_service: ratio(totals.p_comp, totals.p_drop),
+        global_lc_service: ratio(totals.g_comp, totals.g_drop),
+        partitioned_switches: totals.p_sw as f64 / totals.measured.max(1) as f64,
+        global_switches: totals.g_sw as f64 / totals.measured.max(1) as f64,
     }
 }
 
@@ -146,7 +228,7 @@ mod tests {
 
     #[test]
     fn partitioning_preserves_more_lc_service() {
-        let r = isolation_experiment(2, 6, 99, 0.25, 5_000);
+        let r = isolation_experiment(2, 6, 99, 0.25, 5_000, 2);
         assert!(r.sets >= 4, "need enough measured workloads ({})", r.sets);
         assert!(
             r.partitioned_lc_service >= r.global_lc_service - 1e-9,
@@ -175,9 +257,13 @@ mod tests {
     }
 
     #[test]
-    fn deterministic() {
-        let a = isolation_experiment(2, 3, 7, 0.3, 2_000);
-        let b = isolation_experiment(2, 3, 7, 0.3, 2_000);
+    fn deterministic_and_thread_invariant() {
+        let a = isolation_experiment(2, 3, 7, 0.3, 2_000, 1);
+        let b = isolation_experiment(2, 3, 7, 0.3, 2_000, 1);
         assert_eq!(a, b);
+        // Thread count never changes the outcome (per-item RNG streams,
+        // ordered merge of integer counters).
+        let c = isolation_experiment(2, 3, 7, 0.3, 2_000, 3);
+        assert_eq!(a, c);
     }
 }

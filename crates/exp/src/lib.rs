@@ -19,12 +19,20 @@
 //! judge the *same* generated task sets. Results are printed as
 //! markdown-ish tables and optionally written as CSV.
 //!
-//! The binary `mcexp` drives everything:
+//! Algorithm line-ups are registry **data** ([`algorithms`] holds name
+//! lists resolved through `mcsched_core::AlgorithmRegistry`), and every
+//! experiment loop runs on the shared batch [`engine`] (deterministic
+//! per-item RNG streams, sharded workers, streaming aggregators — the
+//! only place in the workspace that spawns threads).
+//!
+//! The binary `mcexp` drives everything, including the JSONL
+//! schedulability service ([`service`]):
 //!
 //! ```text
 //! mcexp --fig 3 --sets 200 --seed 42 --out results/
 //! mcexp --headline --sets 500
 //! mcexp --ablation
+//! mcexp eval --input requests.jsonl   # JSON verdicts on stdout
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,13 +40,17 @@
 
 pub mod ablation;
 pub mod algorithms;
+pub mod engine;
 pub mod figures;
 pub mod headline;
 pub mod isolation;
 pub mod perf;
 pub mod report;
+pub mod service;
 pub mod sweep;
 
 pub use algorithms::{fig3_lineup, fig4_lineup, perf_lineup, AlgoBox};
+pub use engine::{run_batch, Accumulator, Batch, Evaluator};
 pub use perf::{partition_throughput, PerfReport, PerfRow};
+pub use service::{handle_request_line, run_eval};
 pub use sweep::{AcceptanceCurve, SweepConfig, SweepResult};

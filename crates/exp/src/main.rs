@@ -1,5 +1,5 @@
 //! `mcexp` — regenerate the figures of the DATE 2017 UDP partitioning
-//! paper.
+//! paper, and serve one-off schedulability requests.
 //!
 //! ```text
 //! mcexp --fig 3 [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
@@ -7,11 +7,13 @@
 //! mcexp --headline [--sets N]
 //! mcexp --ablation [--m M]
 //! mcexp --all            # everything, at the configured --sets
+//! mcexp eval [--input FILE] [--output FILE]   # JSONL request/response
 //! ```
 //!
 //! Defaults: `--sets 200` (the paper uses 1000; raise it for final runs),
 //! `--seed 42`, `--threads` = available parallelism.
 
+use mcsched_core::AlgorithmRegistry;
 use mcsched_exp::ablation::{
     admission_profile, amc_ablation, render_ablation, render_admission, strategy_ablation,
 };
@@ -23,11 +25,23 @@ use mcsched_exp::headline::{headlines, render_headlines};
 use mcsched_exp::isolation::{isolation_experiment, render_isolation};
 use mcsched_exp::perf::{partition_throughput, render_perf, write_perf_json};
 use mcsched_exp::report::{render_table, write_csv};
+use mcsched_exp::service::run_eval;
 use mcsched_exp::sweep::default_threads;
+use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
+
+/// Ceiling on the isolation experiment's workload count: each workload
+/// runs two full discrete-event simulations over a 20k-tick horizon, so
+/// the experiment costs orders of magnitude more per set than a
+/// schedulability sweep. `--sets` above this is clamped (with a warning
+/// on stderr — never silently).
+const MAX_ISOLATION_SETS: usize = 100;
 
 #[derive(Debug, Clone)]
 struct Args {
+    eval: bool,
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
     fig: Option<String>,
     m_values: Vec<usize>,
     sets: usize,
@@ -43,6 +57,9 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        eval: false,
+        input: None,
+        output: None,
         fig: None,
         m_values: FIGURE_M.to_vec(),
         sets: 200,
@@ -65,6 +82,9 @@ fn parse_args() -> Result<Args, String> {
     };
     while i < argv.len() {
         match argv[i].as_str() {
+            "eval" if i == 0 => args.eval = true,
+            "--input" => args.input = Some(PathBuf::from(value(&mut i)?)),
+            "--output" => args.output = Some(PathBuf::from(value(&mut i)?)),
             "--fig" => args.fig = Some(value(&mut i)?),
             "--m" => {
                 args.m_values = value(&mut i)?
@@ -105,10 +125,23 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const HELP: &str = "mcexp — regenerate the DATE 2017 UDP partitioning figures
+const HELP: &str = r#"mcexp — regenerate the DATE 2017 UDP partitioning figures
 usage: mcexp [--fig 3|4|5|6a|6b] [--headline] [--ablation] [--isolation] [--all]
              [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
-             [--perf-json FILE]   # partition-throughput artifact (BENCH_partition.json)";
+             [--perf-json FILE]   # partition-throughput artifact (BENCH_partition.json)
+       mcexp eval [--input FILE] [--output FILE]
+
+eval mode: read JSONL schedulability requests (one JSON object per line,
+from --input or stdin) and stream one JSON verdict per line (to --output
+or stdout). A request names any registered algorithm ("<strategy>-<test>",
+e.g. CU-UDP-EDF-VD, CA-UDP-AMC, ECA-Wu-F-EY); unknown names are answered
+with an error listing every registered name. Example request line:
+
+  {"algorithm":"CU-UDP-EDF-VD","m":2,"tasks":[{"id":0,"period":10,"criticality":"HI","wcet_lo":2,"wcet_hi":4},{"id":1,"period":20,"wcet_lo":6}]}
+
+The verdict carries the partition witness (task ids per processor):
+
+  {"algorithm":"CU-UDP-EDF-VD","m":2,"schedulable":true,"partition":[[0],[1]],"rejected_task":null,"detail":null}"#;
 
 fn run_panel_figure(
     fig: &str,
@@ -131,6 +164,27 @@ fn run_panel_figure(
     }
 }
 
+/// Runs `mcexp eval`: JSONL requests in, JSON verdicts out.
+fn run_eval_mode(args: &Args) -> std::io::Result<()> {
+    let registry = AlgorithmRegistry::standard();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let input: Box<dyn std::io::BufRead> = match &args.input {
+        Some(path) => Box::new(BufReader::new(std::fs::File::open(path)?)),
+        None => Box::new(stdin.lock()),
+    };
+    let output: Box<dyn Write> = match &args.output {
+        Some(path) => Box::new(BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(stdout.lock()),
+    };
+    let summary = run_eval(&registry, input, output)?;
+    eprintln!(
+        "[mcexp] eval: {} request(s), {} error verdict(s)",
+        summary.requests, summary.errors
+    );
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -139,6 +193,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.eval {
+        if let Err(e) = run_eval_mode(&args) {
+            eprintln!("[mcexp] eval failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Create the CSV output directory once up front so per-figure writes
+    // cannot fail one by one later.
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --out {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 
     let mut did_something = false;
     let figs: Vec<String> = if args.all {
@@ -208,9 +279,17 @@ fn main() {
 
     if args.isolation || args.all {
         did_something = true;
+        let sets = args.sets.min(MAX_ISOLATION_SETS);
+        if sets < args.sets {
+            eprintln!(
+                "[mcexp] isolation: clamping --sets {} to {MAX_ISOLATION_SETS} \
+                 (simulation cost; see MAX_ISOLATION_SETS)",
+                args.sets
+            );
+        }
         for &m in &args.m_values {
-            eprintln!("[mcexp] isolation experiment m={m} ...");
-            let r = isolation_experiment(m, args.sets.min(100), args.seed, 0.25, 20_000);
+            eprintln!("[mcexp] isolation experiment m={m} sets={sets} ...");
+            let r = isolation_experiment(m, sets, args.seed, 0.25, 20_000, args.threads);
             println!("\n## Mode-switch isolation (m = {m}, 25% overruns)\n");
             println!("{}", render_isolation(&r));
         }

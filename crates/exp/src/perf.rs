@@ -7,13 +7,14 @@
 //! re-analyses) so regressions in either dimension are visible.
 
 use crate::algorithms::AlgoBox;
+use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
 use mcsched_core::AdmissionStats;
 use mcsched_gen::{utilization_grid, DeadlineModel, TaskSetSpec};
 use mcsched_model::TaskSet;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::Serialize;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One algorithm's throughput over the corpus.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -66,7 +67,97 @@ pub fn seeded_corpus(m: usize, count: usize, seed: u64) -> Vec<TaskSet> {
     out
 }
 
+/// One corpus entry's measurement under one algorithm.
+struct Measure {
+    accepted: bool,
+    stats: AdmissionStats,
+    elapsed: Duration,
+}
+
+/// Per-algorithm running totals over the corpus.
+struct Totals {
+    accepted: usize,
+    stats: AdmissionStats,
+    elapsed: Duration,
+}
+
+struct PerfTotals {
+    sets: usize,
+    per_algorithm: Vec<Totals>,
+}
+
+impl Accumulator for PerfTotals {
+    type Output = Vec<Measure>;
+
+    fn absorb(&mut self, measures: Vec<Measure>) {
+        self.sets += 1;
+        for (t, m) in self.per_algorithm.iter_mut().zip(measures) {
+            t.accepted += usize::from(m.accepted);
+            t.stats.merge(&m.stats);
+            t.elapsed += m.elapsed;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.sets += other.sets;
+        for (t, o) in self.per_algorithm.iter_mut().zip(other.per_algorithm) {
+            t.accepted += o.accepted;
+            t.stats.merge(&o.stats);
+            t.elapsed += o.elapsed;
+        }
+    }
+}
+
+/// Judges one corpus entry under every algorithm, timing each verdict.
+struct ThroughputEvaluator<'a> {
+    m: usize,
+    corpus: &'a [TaskSet],
+    algorithms: &'a [AlgoBox],
+}
+
+impl Evaluator for ThroughputEvaluator<'_> {
+    type Output = Vec<Measure>;
+    type Acc = PerfTotals;
+
+    fn evaluate(&self, index: usize, _rng: &mut StdRng) -> Option<Vec<Measure>> {
+        let ts = &self.corpus[index];
+        Some(
+            self.algorithms
+                .iter()
+                .map(|algo| {
+                    let start = Instant::now();
+                    let (result, stats) = algo.try_partition_reporting(ts, self.m);
+                    Measure {
+                        accepted: result.is_ok(),
+                        stats,
+                        elapsed: start.elapsed(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn accumulator(&self) -> PerfTotals {
+        PerfTotals {
+            sets: 0,
+            per_algorithm: self
+                .algorithms
+                .iter()
+                .map(|_| Totals {
+                    accepted: 0,
+                    stats: AdmissionStats::default(),
+                    elapsed: Duration::ZERO,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Measures every algorithm over the same seeded corpus.
+///
+/// The corpus is pushed through the shared batch engine on a single
+/// worker so per-algorithm wall-clock totals stay meaningful (parallel
+/// workers would time-share cores and inflate each other's measurements).
 pub fn partition_throughput(
     m: usize,
     sets: usize,
@@ -74,32 +165,30 @@ pub fn partition_throughput(
     algorithms: &[AlgoBox],
 ) -> PerfReport {
     let corpus = seeded_corpus(m, sets, seed);
+    let totals = run_batch(
+        &Batch::new(corpus.len(), seed),
+        &ThroughputEvaluator {
+            m,
+            corpus: &corpus,
+            algorithms,
+        },
+    );
     let rows = algorithms
         .iter()
-        .map(|algo| {
-            let mut stats = AdmissionStats::default();
-            let mut accepted = 0usize;
-            let start = Instant::now();
-            for ts in &corpus {
-                let (result, s) = algo.try_partition_reporting(ts, m);
-                stats.merge(&s);
-                if result.is_ok() {
-                    accepted += 1;
-                }
-            }
-            let elapsed = start.elapsed();
-            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+        .zip(totals.per_algorithm)
+        .map(|(algo, t)| {
+            let secs = t.elapsed.as_secs_f64();
             PerfRow {
                 algorithm: algo.name().to_owned(),
                 sets: corpus.len(),
-                accepted,
-                elapsed_ms,
-                sets_per_second: if elapsed.as_secs_f64() > 0.0 {
-                    corpus.len() as f64 / elapsed.as_secs_f64()
+                accepted: t.accepted,
+                elapsed_ms: secs * 1e3,
+                sets_per_second: if secs > 0.0 {
+                    corpus.len() as f64 / secs
                 } else {
                     f64::INFINITY
                 },
-                stats,
+                stats: t.stats,
             }
         })
         .collect();

@@ -1,0 +1,360 @@
+//! The JSONL schedulability-evaluation service behind `mcexp eval`.
+//!
+//! Requests arrive one JSON object per line (from a file or stdin); each
+//! line is answered with one JSON verdict on the next output line — the
+//! first step toward serving the partitioned-schedulability analysis as a
+//! network service. Request shape:
+//!
+//! ```json
+//! {"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [
+//!   {"id": 0, "period": 10, "criticality": "HI", "wcet_lo": 2, "wcet_hi": 4},
+//!   {"id": 1, "period": 20, "wcet_lo": 6}
+//! ]}
+//! ```
+//!
+//! * `algorithm` — any name the [`AlgorithmRegistry`] parses
+//!   (`"<strategy>-<test>"`; unknown names are answered with an error
+//!   listing every registered name),
+//! * `m` — the processor count,
+//! * `tasks` — the task set; `criticality` defaults to `"LO"`, `wcet_hi`
+//!   to `wcet_lo`, and `deadline` to `period`.
+//!
+//! The verdict carries the partition witness (task ids per processor)
+//! when the set is schedulable, or the first unallocatable task when it
+//! is not:
+//!
+//! ```json
+//! {"algorithm": "CU-UDP-EDF-VD", "m": 2, "schedulable": true,
+//!  "partition": [[0], [1]], "rejected_task": null, "detail": null}
+//! ```
+//!
+//! Malformed lines and unknown algorithms produce `{"error": "..."}`
+//! verdicts in-band; the stream keeps flowing (service semantics — one
+//! bad request must not poison the batch).
+
+use mcsched_core::AlgorithmRegistry;
+use mcsched_model::{Criticality, Task, TaskSet};
+use serde::{Serialize, Value};
+use std::io::{BufRead, Write};
+
+/// Ceiling on the requested processor count: far above any platform the
+/// analysis targets, low enough that per-processor admission-state
+/// allocation stays trivial.
+pub const MAX_PROCESSORS: u64 = 4096;
+
+/// A parsed schedulability request (one JSONL line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Registry name of the algorithm to apply.
+    pub algorithm: String,
+    /// Processor count.
+    pub m: usize,
+    /// The task set to judge.
+    pub tasks: TaskSet,
+}
+
+/// The verdict for one request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalResponse {
+    /// Echo of the requested algorithm name.
+    pub algorithm: String,
+    /// Echo of the processor count.
+    pub m: usize,
+    /// Whether the algorithm schedules the set on `m` processors.
+    pub schedulable: bool,
+    /// The witness: task ids per processor (present iff schedulable).
+    pub partition: Option<Vec<Vec<u32>>>,
+    /// The first unallocatable task (present iff not schedulable).
+    pub rejected_task: Option<u32>,
+    /// Human-readable rejection detail (present iff not schedulable).
+    pub detail: Option<String>,
+}
+
+/// An in-band error verdict (`{"error": "..."}`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalError {
+    /// What went wrong with the request line.
+    pub error: String,
+}
+
+/// Totals of one [`run_eval`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalSummary {
+    /// Non-blank request lines seen.
+    pub requests: usize,
+    /// Requests answered with an `{"error": ...}` verdict.
+    pub errors: usize,
+}
+
+/// Parses one JSONL request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first malformed field.
+pub fn parse_request(line: &str) -> Result<EvalRequest, String> {
+    let v = serde_json::parse_value(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let algorithm = v
+        .get("algorithm")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `algorithm`")?
+        .to_owned();
+    let m = v
+        .get("m")
+        .and_then(Value::as_u64)
+        .ok_or("request needs an integer `m`")?;
+    if m == 0 {
+        return Err("`m` must be at least 1".to_owned());
+    }
+    // Partitioning allocates per-processor admission state, so an absurd
+    // `m` in one request must not be able to abort the whole stream.
+    if m > MAX_PROCESSORS {
+        return Err(format!("`m` must be at most {MAX_PROCESSORS}"));
+    }
+    let m = usize::try_from(m).map_err(|_| "`m` out of range".to_owned())?;
+    let tasks_value = v
+        .get("tasks")
+        .and_then(Value::as_seq)
+        .ok_or("request needs an array `tasks`")?;
+    let mut tasks = TaskSet::with_capacity(tasks_value.len());
+    for (i, tv) in tasks_value.iter().enumerate() {
+        let task = task_from_value(tv).map_err(|e| format!("tasks[{i}]: {e}"))?;
+        tasks
+            .try_push(task)
+            .map_err(|e| format!("tasks[{i}]: {e}"))?;
+    }
+    Ok(EvalRequest {
+        algorithm,
+        m,
+        tasks,
+    })
+}
+
+fn task_from_value(v: &Value) -> Result<Task, String> {
+    let field = |name: &str| v.get(name).and_then(Value::as_u64);
+    let id = field("id").ok_or("needs an integer `id`")?;
+    let id = u32::try_from(id).map_err(|_| "`id` out of range".to_owned())?;
+    let period = field("period").ok_or("needs an integer `period`")?;
+    let wcet_lo = field("wcet_lo").ok_or("needs an integer `wcet_lo`")?;
+    let criticality = match v.get("criticality") {
+        None => Criticality::Low,
+        Some(c) => {
+            let s = c.as_str().ok_or("`criticality` must be a string")?;
+            match s.to_ascii_uppercase().as_str() {
+                "HI" | "HIGH" | "HC" => Criticality::High,
+                "LO" | "LOW" | "LC" => Criticality::Low,
+                other => return Err(format!("unknown criticality `{other}` (use HI or LO)")),
+            }
+        }
+    };
+    let mut builder = Task::builder(id)
+        .period(period)
+        .criticality(criticality)
+        .wcet_lo(wcet_lo);
+    if let Some(wcet_hi) = field("wcet_hi") {
+        builder = builder.wcet_hi(wcet_hi);
+    }
+    if let Some(deadline) = field("deadline") {
+        builder = builder.deadline(deadline);
+    }
+    builder.try_build().map_err(|e| e.to_string())
+}
+
+/// Evaluates one parsed request against the registry.
+///
+/// # Errors
+///
+/// Returns the in-band error message (unknown algorithm names include
+/// every registered name, via [`RegistryError`]'s display).
+///
+/// [`RegistryError`]: mcsched_core::RegistryError
+pub fn evaluate_request(
+    registry: &AlgorithmRegistry,
+    request: &EvalRequest,
+) -> Result<EvalResponse, String> {
+    let algo = registry
+        .parse(&request.algorithm)
+        .map_err(|e| e.to_string())?;
+    match algo.try_partition(&request.tasks, request.m) {
+        Ok(partition) => Ok(EvalResponse {
+            algorithm: request.algorithm.clone(),
+            m: request.m,
+            schedulable: true,
+            partition: Some(
+                partition
+                    .iter()
+                    .map(|proc| proc.iter().map(|t| t.id().0).collect())
+                    .collect(),
+            ),
+            rejected_task: None,
+            detail: None,
+        }),
+        Err(e) => Ok(EvalResponse {
+            algorithm: request.algorithm.clone(),
+            m: request.m,
+            schedulable: false,
+            partition: None,
+            rejected_task: Some(e.task.0),
+            detail: Some(e.to_string()),
+        }),
+    }
+}
+
+/// Answers one request line with one JSON verdict line (never panics on
+/// bad input — errors become `{"error": "..."}` verdicts). The boolean is
+/// `true` when the line was answered with an error.
+pub fn handle_request_line(registry: &AlgorithmRegistry, line: &str) -> (String, bool) {
+    let verdict = parse_request(line).and_then(|req| evaluate_request(registry, &req));
+    match verdict {
+        Ok(resp) => (
+            serde_json::to_string(&resp).expect("stub serialization is infallible"),
+            false,
+        ),
+        Err(error) => (
+            serde_json::to_string(&EvalError { error }).expect("stub serialization is infallible"),
+            true,
+        ),
+    }
+}
+
+/// Streams JSONL requests from `input` to JSON verdicts on `output`
+/// (blank lines are skipped). Returns the stream totals.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading `input` or writing `output`;
+/// per-request failures are answered in-band instead.
+pub fn run_eval<R: BufRead, W: Write>(
+    registry: &AlgorithmRegistry,
+    input: R,
+    mut output: W,
+) -> std::io::Result<EvalSummary> {
+    let mut summary = EvalSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let (verdict, errored) = handle_request_line(registry, &line);
+        summary.errors += usize::from(errored);
+        writeln!(output, "{verdict}")?;
+    }
+    output.flush()?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [
+        {"id": 0, "period": 10, "criticality": "HI", "wcet_lo": 2, "wcet_hi": 4},
+        {"id": 1, "period": 20, "wcet_lo": 6}]}"#;
+
+    #[test]
+    fn parses_and_applies_defaults() {
+        let req = parse_request(GOOD).unwrap();
+        assert_eq!(req.algorithm, "CU-UDP-EDF-VD");
+        assert_eq!(req.m, 2);
+        assert_eq!(req.tasks.len(), 2);
+        let lo = req.tasks.get(mcsched_model::TaskId(1)).unwrap();
+        assert!(lo.criticality().is_low());
+        assert_eq!(lo.wcet_hi(), lo.wcet_lo());
+        assert!(lo.is_implicit_deadline());
+    }
+
+    #[test]
+    fn schedulable_verdict_carries_witness() {
+        let registry = AlgorithmRegistry::standard();
+        let req = parse_request(GOOD).unwrap();
+        let resp = evaluate_request(&registry, &req).unwrap();
+        assert!(resp.schedulable);
+        let witness = resp.partition.as_ref().unwrap();
+        assert_eq!(witness.len(), 2);
+        let mut ids: Vec<u32> = witness.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(resp.rejected_task, None);
+    }
+
+    #[test]
+    fn unschedulable_verdict_names_the_task() {
+        let registry = AlgorithmRegistry::standard();
+        let line = r#"{"algorithm": "CU-UDP-EDF-VD", "m": 1, "tasks": [
+            {"id": 0, "period": 10, "criticality": "HI", "wcet_lo": 5, "wcet_hi": 9},
+            {"id": 1, "period": 10, "criticality": "HI", "wcet_lo": 5, "wcet_hi": 9}]}"#;
+        let req = parse_request(line).unwrap();
+        let resp = evaluate_request(&registry, &req).unwrap();
+        assert!(!resp.schedulable);
+        assert_eq!(resp.partition, None);
+        assert!(resp.rejected_task.is_some());
+        assert!(resp
+            .detail
+            .as_ref()
+            .unwrap()
+            .contains("could not be allocated"));
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_registry() {
+        let registry = AlgorithmRegistry::standard();
+        let (verdict, errored) = handle_request_line(
+            &registry,
+            r#"{"algorithm": "CU-UDP-RTA", "m": 2, "tasks": []}"#,
+        );
+        assert!(errored);
+        assert!(verdict.contains("unknown algorithm `CU-UDP-RTA`"));
+        assert!(verdict.contains("CU-UDP-EDF-VD"), "{verdict}");
+    }
+
+    #[test]
+    fn malformed_requests_are_in_band_errors() {
+        let registry = AlgorithmRegistry::standard();
+        for (line, needle) in [
+            ("{oops", "malformed JSON"),
+            ("{}", "`algorithm`"),
+            (r#"{"algorithm": "CU-UDP-EDF-VD"}"#, "`m`"),
+            (
+                r#"{"algorithm": "CU-UDP-EDF-VD", "m": 0, "tasks": []}"#,
+                "at least 1",
+            ),
+            (
+                r#"{"algorithm": "CU-UDP-EDF-VD", "m": 1000000000000, "tasks": []}"#,
+                "at most",
+            ),
+            (r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2}"#, "`tasks`"),
+            (
+                r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [{"id": 0}]}"#,
+                "tasks[0]",
+            ),
+            (
+                r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks":
+                   [{"id": 0, "period": 10, "wcet_lo": 2, "criticality": "MID"}]}"#,
+                "unknown criticality",
+            ),
+        ] {
+            let (verdict, errored) = handle_request_line(&registry, line);
+            assert!(errored, "{line}");
+            assert!(verdict.contains(needle), "{line}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn run_eval_streams_line_per_request() {
+        let registry = AlgorithmRegistry::standard();
+        let input = format!("{}\n\n{}\n", GOOD.replace('\n', " "), "{bad");
+        let mut out = Vec::new();
+        let summary = run_eval(&registry, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"schedulable\":true"));
+        assert!(lines[1].contains("\"error\""));
+        // Every verdict is itself valid JSON.
+        for line in lines {
+            serde_json::parse_value(line).unwrap();
+        }
+    }
+}

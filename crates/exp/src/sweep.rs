@@ -1,8 +1,15 @@
 //! Acceptance-ratio sweeps over the paper's utilization grid.
+//!
+//! Each `UB` bucket is one [`engine`](crate::engine) batch: items are
+//! generated task sets (stream = the bucket percentage, so every bucket
+//! has its own deterministic RNG streams) and the accumulator counts
+//! per-algorithm accepts.
 
 use crate::algorithms::AlgoBox;
+use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
 use mcsched_gen::{bucketed_grid, DeadlineModel, GridPoint, TaskSetSpec, UbBucket};
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::rngs::StdRng;
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one acceptance-ratio sweep (one panel of Figs. 3–5).
@@ -166,6 +173,54 @@ struct BucketAccepts {
     total: usize,
 }
 
+impl Accumulator for BucketAccepts {
+    type Output = Vec<bool>;
+
+    fn absorb(&mut self, accepts: Vec<bool>) {
+        self.total += 1;
+        for (slot, accepted) in self.counts.iter_mut().zip(accepts) {
+            *slot += usize::from(accepted);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        for (slot, count) in self.counts.iter_mut().zip(other.counts) {
+            *slot += count;
+        }
+    }
+}
+
+/// One bucket of a sweep: items are generated task sets, outputs the
+/// per-algorithm accept verdicts.
+struct BucketEvaluator<'a> {
+    config: &'a SweepConfig,
+    algorithms: &'a [AlgoBox],
+    points: &'a [GridPoint],
+}
+
+impl Evaluator for BucketEvaluator<'_> {
+    type Output = Vec<bool>;
+    type Acc = BucketAccepts;
+
+    fn evaluate(&self, _index: usize, rng: &mut StdRng) -> Option<Vec<bool>> {
+        let ts = generate_in_bucket(self.config, self.points, rng)?;
+        Some(
+            self.algorithms
+                .iter()
+                .map(|a| a.accepts(&ts, self.config.m))
+                .collect(),
+        )
+    }
+
+    fn accumulator(&self) -> BucketAccepts {
+        BucketAccepts {
+            counts: vec![0; self.algorithms.len()],
+            total: 0,
+        }
+    }
+}
+
 /// Evaluates all algorithms over one bucket's generated sets, in parallel.
 fn bucket_accepts(
     config: &SweepConfig,
@@ -173,54 +228,18 @@ fn bucket_accepts(
     bucket: UbBucket,
     points: &[GridPoint],
 ) -> Option<BucketAccepts> {
-    let total = config.sets_per_bucket;
-    let threads = config.threads.max(1).min(total.max(1));
-    let counts = std::sync::Mutex::new(vec![0usize; algorithms.len()]);
-    let generated = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let counts = &counts;
-            let generated = &generated;
-            scope.spawn(move || {
-                let mut local = vec![0usize; algorithms.len()];
-                let mut made = 0usize;
-                for idx in (worker..total).step_by(threads) {
-                    // Deterministic per-(bucket, index) RNG stream.
-                    let mut rng = StdRng::seed_from_u64(
-                        config
-                            .seed
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(u64::from(bucket.0) << 32)
-                            .wrapping_add(idx as u64),
-                    );
-                    let Some(ts) = generate_in_bucket(config, points, &mut rng) else {
-                        continue;
-                    };
-                    made += 1;
-                    for (a, slot) in algorithms.iter().zip(local.iter_mut()) {
-                        if a.accepts(&ts, config.m) {
-                            *slot += 1;
-                        }
-                    }
-                }
-                let mut guard = counts.lock().expect("no poisoning");
-                for (g, l) in guard.iter_mut().zip(local) {
-                    *g += l;
-                }
-                generated.fetch_add(made, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-
-    let total_made = generated.load(std::sync::atomic::Ordering::Relaxed);
-    if total_made == 0 {
-        return None;
-    }
-    Some(BucketAccepts {
-        counts: counts.into_inner().expect("no poisoning"),
-        total: total_made,
-    })
+    let batch = Batch::new(config.sets_per_bucket, config.seed)
+        .with_stream(u64::from(bucket.0))
+        .with_threads(config.threads);
+    let acc = run_batch(
+        &batch,
+        &BucketEvaluator {
+            config,
+            algorithms,
+            points,
+        },
+    );
+    (acc.total > 0).then_some(acc)
 }
 
 /// Generates one task set from a uniformly chosen grid point of the

@@ -38,6 +38,39 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Registry & batch evaluation
+//!
+//! Algorithms are also addressable as **data**: the
+//! [`AlgorithmRegistry`](core::AlgorithmRegistry) parses display names
+//! like `"CU-UDP-EDF-VD"` (any `"<strategy>-<test>"` combination of the
+//! six preset strategies and five uniprocessor tests) into runnable
+//! algorithms, and serde-able [`AlgorithmSpec`](core::AlgorithmSpec)s
+//! describe custom combinations. The experiment harness's line-ups are
+//! lists of these names, every experiment loop runs on the shared
+//! [`engine`](exp::engine) (deterministic per-item RNG streams, sharded
+//! workers, streaming aggregators), and `mcexp eval` serves JSONL
+//! schedulability requests over the same names:
+//!
+//! ```
+//! use mcsched::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = AlgorithmRegistry::standard();
+//! let algo = registry.parse("CU-UDP-EDF-VD")?;
+//!
+//! let ts = TaskSet::try_from_tasks(vec![
+//!     Task::hi(0, 10, 2, 5)?,
+//!     Task::lo(1, 10, 4)?,
+//! ])?;
+//! assert!(algo.accepts(&ts, 2));
+//!
+//! // Unknown names report every registered algorithm.
+//! let err = registry.spec("CU-UDP-RTA").unwrap_err();
+//! assert!(err.to_string().contains("CU-UDP-EDF-VD"));
+//! # Ok(())
+//! # }
+//! ```
 
 pub use mcsched_analysis as analysis;
 pub use mcsched_core as core;
@@ -45,3 +78,27 @@ pub use mcsched_exp as exp;
 pub use mcsched_gen as gen;
 pub use mcsched_model as model;
 pub use mcsched_sim as sim;
+
+/// The most commonly used names in one import: the task model, the five
+/// uniprocessor tests, the partitioning framework, and the registry /
+/// batch-evaluation surface.
+///
+/// ```
+/// use mcsched::prelude::*;
+///
+/// let algo = AlgorithmRegistry::standard()
+///     .parse("CA-UDP-ECDF")
+///     .expect("registered name");
+/// assert_eq!(algo.name(), "CA-UDP-ECDF");
+/// ```
+pub mod prelude {
+    pub use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, SchedulabilityTest};
+    pub use mcsched_core::{
+        presets, AlgoBox, AlgorithmRegistry, AlgorithmSpec, AllocationOrder, BalanceMetric,
+        FitRule, MultiprocessorTest, Partition, PartitionError, PartitionStrategy,
+        PartitionedAlgorithm, RegistryError, TestName,
+    };
+    pub use mcsched_exp::engine::{run_batch, Accumulator, Batch, Evaluator};
+    pub use mcsched_exp::{SweepConfig, SweepResult};
+    pub use mcsched_model::{Criticality, Task, TaskId, TaskSet, Time};
+}

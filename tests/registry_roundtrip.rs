@@ -1,0 +1,114 @@
+//! Registry round-trips: every line-up name the experiment harness uses
+//! parses back to an algorithm with the identical display name,
+//! `AlgorithmSpec`s survive a serde round-trip, and registry-built
+//! line-ups produce **bit-identical** sweep results to directly
+//! constructed algorithms over a seeded corpus.
+
+use mcsched::analysis::{AmcMax, Ecdf, EdfVd, Ey};
+use mcsched::exp::algorithms::{
+    ablation_specs, AMC_ABLATION_NAMES, FIG3_NAMES, FIG4_NAMES, FIG6B_NAMES, PERF_NAMES,
+};
+use mcsched::exp::sweep::{acceptance_sweep, SweepConfig};
+use mcsched::gen::DeadlineModel;
+use mcsched::prelude::*;
+
+fn every_lineup_name() -> Vec<&'static str> {
+    let mut names: Vec<&str> = Vec::new();
+    names.extend(FIG3_NAMES);
+    names.extend(FIG4_NAMES);
+    names.extend(FIG6B_NAMES);
+    names.extend(PERF_NAMES);
+    names.extend(AMC_ABLATION_NAMES);
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+#[test]
+fn every_lineup_name_round_trips_through_the_registry() {
+    let registry = AlgorithmRegistry::standard();
+    for name in every_lineup_name() {
+        let algo = registry
+            .parse(name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(algo.name(), name, "display name must round-trip");
+        // The parsed spec round-trips to the same display name too.
+        let spec = registry.spec(name).unwrap();
+        assert_eq!(spec.name(), name);
+        assert_eq!(spec.build().name(), name);
+    }
+}
+
+#[test]
+fn ablation_specs_round_trip_through_serde() {
+    // The ablation line-up mixes registry presets with custom inline
+    // strategies — all must survive JSON serialization and manual
+    // reconstruction bit-for-bit (PartialEq on the spec).
+    for spec in ablation_specs() {
+        let json = serde_json::to_string(&spec).unwrap();
+        let value = serde_json::parse_value(&json).unwrap();
+        let back = AlgorithmSpec::from_value(&value)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{json}", spec.name()));
+        assert_eq!(back, spec, "{json}");
+        assert_eq!(back.build().name(), spec.name());
+    }
+}
+
+#[test]
+fn registry_lineup_sweeps_bit_identical_to_direct_constructors() {
+    // The exact algorithms `fig3_lineup`/`fig4_lineup` used to hard-code,
+    // constructed directly...
+    let direct: Vec<AlgoBox> = vec![
+        Box::new(PartitionedAlgorithm::new(presets::ca_udp(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), EdfVd::new())),
+        Box::new(PartitionedAlgorithm::new(
+            presets::ca_nosort_f_f(),
+            EdfVd::new(),
+        )),
+        Box::new(PartitionedAlgorithm::new(presets::cu_udp(), Ecdf::new())),
+        Box::new(
+            PartitionedAlgorithm::new(presets::cu_udp(), AmcMax::new()).with_name("CU-UDP-AMC"),
+        ),
+        Box::new(PartitionedAlgorithm::new(presets::eca_wu_f(), Ey::new())),
+        Box::new(PartitionedAlgorithm::new(presets::ca_f_f(), Ey::new())),
+    ];
+    // ... and the same line-up resolved through the registry.
+    let registry = AlgorithmRegistry::standard();
+    let named: Vec<AlgoBox> = registry
+        .resolve(&[
+            "CA-UDP-EDF-VD",
+            "CU-UDP-EDF-VD",
+            "CA(nosort)-F-F-EDF-VD",
+            "CU-UDP-ECDF",
+            "CU-UDP-AMC",
+            "ECA-Wu-F-EY",
+            "CA-F-F-EY",
+        ])
+        .unwrap();
+
+    let mut config = SweepConfig::paper(2, DeadlineModel::Implicit, 10, 0xD17E);
+    config.threads = 2;
+    config.min_bucket_percent = 40;
+    let a = acceptance_sweep(&config, &direct);
+    let b = acceptance_sweep(&config, &named);
+    assert_eq!(a, b, "registry-built line-up must be bit-identical");
+}
+
+#[test]
+fn spec_round_trip_preserves_verdicts() {
+    // A spec reconstructed from JSON decides exactly like the original.
+    let registry = AlgorithmRegistry::standard();
+    let spec = registry.spec("CU-UDP-AMC").unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back = AlgorithmSpec::from_value(&serde_json::parse_value(&json).unwrap()).unwrap();
+    let (a, b) = (spec.build(), back.build());
+    let ts = TaskSet::try_from_tasks(vec![
+        Task::hi(0, 10, 2, 5).unwrap(),
+        Task::hi(1, 20, 4, 9).unwrap(),
+        Task::lo(2, 10, 4).unwrap(),
+    ])
+    .unwrap();
+    for m in 1..=3 {
+        assert_eq!(a.try_partition(&ts, m), b.try_partition(&ts, m), "m={m}");
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end checks of the `mcexp eval` JSONL service surface: a
+//! three-line request stream produces one valid JSON verdict per line
+//! (validated with `serde_json`'s parser), verdicts carry the partition
+//! witness, and unknown algorithm names are answered with the registry's
+//! available names.
+
+use mcsched::exp::service::{handle_request_line, run_eval};
+use mcsched::prelude::*;
+use serde_json::Value;
+
+const REQUESTS: [&str; 3] = [
+    r#"{"algorithm":"CU-UDP-EDF-VD","m":2,"tasks":[{"id":0,"period":10,"criticality":"HI","wcet_lo":2,"wcet_hi":4},{"id":1,"period":20,"wcet_lo":6}]}"#,
+    r#"{"algorithm":"CA-UDP-AMC","m":1,"tasks":[{"id":0,"period":10,"criticality":"HI","wcet_lo":5,"wcet_hi":9},{"id":1,"period":10,"criticality":"HI","wcet_lo":5,"wcet_hi":9}]}"#,
+    r#"{"algorithm":"ECA-Wu-F-EY","m":2,"tasks":[{"id":0,"period":10,"criticality":"HI","wcet_lo":2,"wcet_hi":4},{"id":1,"period":10,"wcet_lo":6}]}"#,
+];
+
+#[test]
+fn three_line_stream_yields_three_json_verdicts() {
+    let registry = AlgorithmRegistry::standard();
+    let input = REQUESTS.join("\n");
+    let mut output = Vec::new();
+    let summary = run_eval(&registry, input.as_bytes(), &mut output).unwrap();
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.errors, 0);
+
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (request, line) in REQUESTS.iter().zip(&lines) {
+        // Each verdict must itself be valid JSON — checked with the
+        // serde_json parser, not string matching.
+        let verdict = serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("invalid verdict JSON: {e}\n{line}"));
+        let requested = serde_json::parse_value(request).unwrap();
+        assert_eq!(
+            verdict.get("algorithm").and_then(Value::as_str),
+            requested.get("algorithm").and_then(Value::as_str)
+        );
+        assert_eq!(
+            verdict.get("m").and_then(Value::as_u64),
+            requested.get("m").and_then(Value::as_u64)
+        );
+        assert!(verdict
+            .get("schedulable")
+            .and_then(Value::as_bool)
+            .is_some());
+    }
+
+    // First request is schedulable on 2 processors: the witness accounts
+    // for every task exactly once.
+    let first = serde_json::parse_value(lines[0]).unwrap();
+    assert_eq!(
+        first.get("schedulable").and_then(Value::as_bool),
+        Some(true)
+    );
+    let witness = first.get("partition").and_then(Value::as_seq).unwrap();
+    assert_eq!(witness.len(), 2);
+    let mut ids: Vec<u64> = witness
+        .iter()
+        .flat_map(|p| p.as_seq().unwrap().iter().map(|v| v.as_u64().unwrap()))
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1]);
+
+    // Second request (two heavy HC tasks on one processor) is rejected
+    // with the failing task named.
+    let second = serde_json::parse_value(lines[1]).unwrap();
+    assert_eq!(
+        second.get("schedulable").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert!(second.get("partition").is_some_and(Value::is_null));
+    assert!(second
+        .get("rejected_task")
+        .and_then(Value::as_u64)
+        .is_some());
+}
+
+#[test]
+fn unknown_algorithm_error_lists_registry_names() {
+    let registry = AlgorithmRegistry::standard();
+    let (verdict, errored) =
+        handle_request_line(&registry, r#"{"algorithm":"NOT-A-THING","m":2,"tasks":[]}"#);
+    assert!(errored);
+    let parsed = serde_json::parse_value(&verdict).unwrap();
+    let message = parsed.get("error").and_then(Value::as_str).unwrap();
+    for expected in registry.algorithm_names() {
+        assert!(
+            message.contains(&expected),
+            "error must list {expected}: {message}"
+        );
+    }
+}
+
+#[test]
+fn verdicts_agree_with_direct_registry_calls() {
+    let registry = AlgorithmRegistry::standard();
+    for request in REQUESTS {
+        let parsed = serde_json::parse_value(request).unwrap();
+        let name = parsed.get("algorithm").and_then(Value::as_str).unwrap();
+        let m = parsed.get("m").and_then(Value::as_u64).unwrap() as usize;
+        let algo = registry.parse(name).unwrap();
+        // Rebuild the task set through the facade API.
+        let mut ts = TaskSet::new();
+        for tv in parsed.get("tasks").and_then(Value::as_seq).unwrap() {
+            let id = tv.get("id").and_then(Value::as_u64).unwrap() as u32;
+            let period = tv.get("period").and_then(Value::as_u64).unwrap();
+            let wcet_lo = tv.get("wcet_lo").and_then(Value::as_u64).unwrap();
+            let task = match tv.get("criticality").and_then(Value::as_str) {
+                Some("HI") => Task::hi(
+                    id,
+                    period,
+                    wcet_lo,
+                    tv.get("wcet_hi").and_then(Value::as_u64).unwrap(),
+                ),
+                _ => Task::lo(id, period, wcet_lo),
+            }
+            .unwrap();
+            ts.try_push(task).unwrap();
+        }
+        let (verdict, errored) = handle_request_line(&registry, request);
+        assert!(!errored);
+        let verdict = serde_json::parse_value(&verdict).unwrap();
+        assert_eq!(
+            verdict.get("schedulable").and_then(Value::as_bool),
+            Some(algo.accepts(&ts, m)),
+            "{name}"
+        );
+    }
+}

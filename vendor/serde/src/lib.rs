@@ -34,6 +34,76 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// The string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, accepting [`Value::UInt`] and
+    /// non-negative [`Value::Int`]/integral [`Value::Float`] (JSON does
+    /// not distinguish integer representations).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, accepting any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a [`Value::Map`] (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+}
+
 /// Structure-to-[`Value`] serialization.
 pub trait Serialize {
     /// Renders `self` as an owned [`Value`] tree.
@@ -195,3 +265,37 @@ impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V> where V: Deserialize<'de> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Map(vec![
+            ("name".to_string(), Value::Str("x".to_string())),
+            ("n".to_string(), Value::UInt(3)),
+            ("neg".to_string(), Value::Int(-2)),
+            ("f".to_string(), Value::Float(1.5)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            ("seq".to_string(), Value::Seq(vec![Value::UInt(1)])),
+        ]);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("neg").and_then(Value::as_u64), None);
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-2.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+        assert!(v.get("none").is_some_and(Value::is_null));
+        assert_eq!(
+            v.get("seq").and_then(Value::as_seq).map(<[Value]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_map().map(<[(String, Value)]>::len), Some(7));
+        // Integral floats are accepted as integers (JSON round-trip).
+        assert_eq!(Value::Float(4.0).as_u64(), Some(4));
+        assert_eq!(Value::Float(4.5).as_u64(), None);
+    }
+}

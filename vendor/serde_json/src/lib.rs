@@ -1,14 +1,20 @@
 //! Offline stub of `serde_json` (see `vendor/README.md`).
 //!
 //! Prints any [`serde::Serialize`] value as JSON text via the stub's
-//! [`serde::Value`] tree. Parsing (`from_str`) is not provided.
+//! [`serde::Value`] tree, and parses JSON text back into a
+//! [`serde::Value`] with [`parse_value`]. Typed deserialization
+//! (`from_str::<T>`) is not provided — callers pattern-match the parsed
+//! [`Value`] tree instead (see `mcsched_core::registry` and
+//! `mcsched_exp::service` for the idiom).
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+pub use serde::Value;
+
+use serde::Serialize;
 use std::fmt;
 
-/// Serialization error (currently unreachable; kept for API parity).
+/// Serialization or parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -35,6 +41,224 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&value.to_value(), &mut out, Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Accepts exactly one top-level JSON value (trailing whitespace allowed).
+/// Numbers parse as [`Value::UInt`] / [`Value::Int`] when they are plain
+/// integers and as [`Value::Float`] otherwise, mirroring what
+/// [`to_string`] emits.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on malformed input.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_at(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+/// Maximum container nesting depth, mirroring real serde_json's
+/// recursion limit: a pathological input line must fail with an in-band
+/// error, not a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+fn parse_at(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(Error(format!("recursion limit exceeded at byte {}", *pos)));
+    }
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                items.push(parse_at(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                skip_ws(bytes, pos);
+                let value = parse_at(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(other) => Err(Error(format!(
+            "unexpected byte `{}` at byte {}",
+            char::from(*other),
+            *pos
+        ))),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| Error(format!("invalid number encoding: {e}")))?;
+    if !float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        // Surrogate pair: a high surrogate must be followed
+                        // by `\u` + low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| {
+                            Error(format!("invalid \\u escape at byte {}", *pos))
+                        })?);
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid; find the next char boundary).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?;
+                let c = rest.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+    let hex = std::str::from_utf8(hex).map_err(|e| Error(format!("invalid \\u escape: {e}")))?;
+    u32::from_str_radix(hex, 16).map_err(|e| Error(format!("invalid \\u escape: {e}")))
 }
 
 fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -140,5 +364,74 @@ mod tests {
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string("x\ny").unwrap(), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_value("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse_value("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_value("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers() {
+        assert_eq!(parse_value("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(parse_value("{}").unwrap(), Value::Map(vec![]));
+        let v = parse_value(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let seq = v.get("a").and_then(Value::as_seq).unwrap();
+        assert_eq!(seq[0].as_u64(), Some(1));
+        assert!(seq[1].get("b").is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            parse_value(r#""a\"b\\c\nd\u0041""#).unwrap(),
+            Value::Str("a\"b\\c\ndA".into())
+        );
+        // Surrogate pair for 𝄞 (U+1D11E).
+        assert_eq!(
+            parse_value(r#""\ud834\udd1e""#).unwrap(),
+            Value::Str("\u{1D11E}".into())
+        );
+        assert_eq!(parse_value("\"é☃\"").unwrap(), Value::Str("é☃".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "tru", "{\"a\"}", "1 2", "\"\\q\"", "nul"] {
+            assert!(parse_value(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        // Within the limit: fine.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse_value(&ok).is_ok());
+        // A pathological line fails with an error, not a stack overflow.
+        let bomb = "[".repeat(100_000);
+        let err = parse_value(&bomb).unwrap_err().to_string();
+        assert!(err.contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let v: Vec<(String, Option<u32>)> = vec![("a".into(), Some(1)), ("b\"q".into(), None)];
+        let text = to_string(&v).unwrap();
+        let parsed = parse_value(&text).unwrap();
+        assert_eq!(
+            parsed,
+            Value::Seq(vec![
+                Value::Seq(vec![Value::Str("a".into()), Value::UInt(1)]),
+                Value::Seq(vec![Value::Str("b\"q".into()), Value::Null]),
+            ])
+        );
     }
 }
