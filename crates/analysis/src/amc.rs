@@ -27,26 +27,33 @@
 //!   AMC-max dominates AMC-rtb by construction (as published).
 
 use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
+use crate::workspace::{AnalysisWorkspace, WorkspaceRef};
 use crate::SchedulabilityTest;
 use mcsched_model::{Criticality, SystemUtilization, Task, TaskId, TaskSet, Time};
 
 /// Deadline-monotonic priority order: returns task indices from highest to
 /// lowest priority.
 pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
-    dm_order_slice(ts.as_slice())
+    let mut idx = Vec::new();
+    dm_order_into(ts.as_slice(), &mut idx);
+    idx
 }
 
-/// [`dm_order`] over a raw task slice (the incremental state analyses
-/// `committed + candidate` workspaces without materialising a `TaskSet`).
-fn dm_order_slice(tasks: &[Task]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..tasks.len()).collect();
-    idx.sort_by(|&a, &b| {
+/// [`dm_order`] into a caller-supplied buffer (cleared first), over a raw
+/// task slice — the incremental states and the workspace-backed one-shot
+/// path analyse `committed + candidate` unions without materialising a
+/// `TaskSet` or allocating the index vector.
+fn dm_order_into(tasks: &[Task], idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..tasks.len());
+    // The (deadline, id) key is unique, so the unstable sort (which never
+    // allocates, unlike the stable one) orders identically.
+    idx.sort_unstable_by(|&a, &b| {
         tasks[a]
             .deadline()
             .cmp(&tasks[b].deadline())
             .then_with(|| tasks[a].id().cmp(&tasks[b].id()))
     });
-    idx
 }
 
 /// Iterates the standard RTA fixpoint `R = wcet + interference(R)`,
@@ -133,7 +140,10 @@ impl LoRta {
     }
 }
 
-/// Shared AMC machinery: low-mode RTA plus per-variant high-mode RTA.
+/// Shared AMC machinery: low-mode RTA plus per-variant high-mode RTA,
+/// allocating its index and response vectors per call. Only the
+/// [`reference`] module still runs this; the hot path goes through
+/// [`amc_schedulable_in`].
 fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Option<Time>) -> bool {
     if ts.is_empty() {
         return true;
@@ -147,9 +157,8 @@ fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Opti
         order: &order,
         lo_resp: &lo_resp,
     };
-    for (pos, &i) in order.iter().enumerate() {
+    for &i in order.iter() {
         if ctx.tasks[i].criticality() == Criticality::High {
-            let _ = pos;
             match hi_rta(&ctx, i) {
                 Some(r) if r <= ctx.tasks[i].deadline() => {}
                 _ => return false,
@@ -157,6 +166,61 @@ fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Opti
         }
     }
     true
+}
+
+/// [`amc_schedulable`] over workspace scratch: delegates to the
+/// incremental layer's [`analyze_into`] with the workspace's reusable
+/// cache and candidate-walk buffers, so the one-shot and the
+/// cache-rebuild paths are literally the same code and the steady-state
+/// one-shot path allocates nothing.
+fn amc_schedulable_in(ts: &TaskSet, variant: AmcVariant, ws: &mut AnalysisWorkspace) -> bool {
+    let AnalysisWorkspace {
+        streams, hc, amc, ..
+    } = ws;
+    analyze_into(ts.as_slice(), variant, streams, hc, amc)
+}
+
+/// One step sequence of a single interference term in the streaming
+/// AMC-max candidate walk: fires at `next`, `next + stride`, … until the
+/// step point reaches the task's low-mode response time (stepping is
+/// saturating, see [`AmcContext::fold_candidates`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandStream {
+    /// The next step instant (`Time::MAX`-saturated once exhausted).
+    next: Time,
+    /// Distance between steps (the interferer's period).
+    stride: Time,
+    /// Steps fired so far — the term's current job count.
+    count: u64,
+    /// Which running quantity a fire updates.
+    kind: StreamKind,
+}
+
+/// What a [`CandStream`] fire contributes.
+#[derive(Debug, Clone, Copy)]
+enum StreamKind {
+    /// LC interferer: a fire freezes one more `C^L` job into the LC sum.
+    Lc {
+        /// The interferer's `C^L`.
+        cost: Time,
+    },
+    /// HC interferer bound (deadline- or release-based): a fire raises the
+    /// completed-job bound `M(k, s)` of the slot.
+    Hc {
+        /// Index into the walk's [`HcSlot`] array.
+        slot: usize,
+    },
+}
+
+/// Per-hp-HC-task state of the streaming AMC-max walk: the constants of
+/// its interference term plus the current completed-job bound `M(k, s)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HcSlot {
+    wcet_lo: Time,
+    wcet_hi: Time,
+    period: Time,
+    /// `max(by_deadline(s), by_release(s))` at the walk's current instant.
+    m: u64,
 }
 
 /// Bundled inputs for the high-mode analyses.
@@ -203,13 +267,41 @@ impl AmcContext<'_> {
     /// The AMC-max bound for task `i`: the worst response over all switch
     /// instants, never worse than the rtb bound (shared by the one-shot
     /// test and the incremental state so the code paths cannot diverge).
-    fn max_bound(&self, i: usize) -> Option<Time> {
+    ///
+    /// Candidate switch instants are walked by [`fold_candidates`]'s
+    /// streaming k-way merge instead of materialising, sorting and
+    /// deduplicating a `Vec<Time>`; the per-candidate interference is
+    /// delta-updated as streams fire, so each fixpoint iteration only pays
+    /// one `⌈r/T⌉` per higher-priority HC task and nothing at all for LC
+    /// tasks. The visited instants and every fixpoint are identical to the
+    /// seed implementation retained in [`crate::amc::reference`].
+    ///
+    /// [`fold_candidates`]: AmcContext::fold_candidates
+    fn max_bound_in(
+        &self,
+        i: usize,
+        streams: &mut Vec<CandStream>,
+        slots: &mut Vec<HcSlot>,
+    ) -> Option<Time> {
         // max over switch instants; infeasible at any instant → None.
-        let mut worst = Time::ZERO;
-        for s in self.switch_candidates(i) {
-            let r = self.max_response_at(i, s)?;
-            worst = worst.max(r);
-        }
+        let mut prev_lc = None;
+        let worst =
+            self.fold_candidates(i, streams, slots, Time::ZERO, |worst, _s, lc, slots| {
+                // Dominance skip (a structural win of the delta-updated
+                // walk): if no LC term stepped since the last *evaluated*
+                // candidate, only the completed-job bounds `M(k, s)` grew,
+                // so the interference function shrank pointwise and this
+                // candidate's least fixed point is ≤ the previous one — it
+                // can neither raise the max nor turn infeasible. The
+                // returned bound and verdict are exactly the seed path's
+                // (`s = 0` is always evaluated: `prev_lc` starts unset).
+                if prev_lc == Some(lc) {
+                    return Some(worst);
+                }
+                prev_lc = Some(lc);
+                let r = self.max_response_streamed(i, lc, slots)?;
+                Some(worst.max(r))
+            })?;
         // AMC-max result never needs to be worse than AMC-rtb.
         match self.rtb_response(i) {
             Some(rtb) => Some(worst.min(rtb)),
@@ -217,7 +309,143 @@ impl AmcContext<'_> {
         }
     }
 
-    /// AMC-max response for switch instant `s`.
+    /// AMC-max response at one switch instant, from the walk's running
+    /// interference state: `lc` is the frozen LC demand at `s` and each
+    /// [`HcSlot`] carries `M(k, s)`, so the fixpoint body is a single pass
+    /// over the hp-HC slots. Computes exactly the sums of
+    /// [`AmcContext::max_response_at`] (integer arithmetic, identical
+    /// operations per term).
+    fn max_response_streamed(&self, i: usize, lc: Time, slots: &[HcSlot]) -> Option<Time> {
+        let ti = &self.tasks[i];
+        fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
+            let mut total = lc;
+            for slot in slots {
+                let n = r.div_ceil(slot.period);
+                let m = slot.m.min(n);
+                total += slot.wcet_lo * m + slot.wcet_hi * (n - m);
+            }
+            total
+        })
+    }
+
+    /// Folds `f` over every candidate switch instant of task `i`, in
+    /// strictly increasing order with coinciding steps merged — exactly
+    /// the sorted-deduplicated set `{0} ∪ {step points < R^LO_i}` the seed
+    /// implementation materialised.
+    ///
+    /// `f` receives the accumulator, the instant `s`, the frozen LC
+    /// interference `Σ_{j∈hpL} (⌊s/Tj⌋+1)·C^L_j` and the hp-HC slots with
+    /// their completed-job bounds `M(k, s)` up to date; returning `None`
+    /// aborts the walk.
+    fn fold_candidates<T>(
+        &self,
+        i: usize,
+        streams: &mut Vec<CandStream>,
+        slots: &mut Vec<HcSlot>,
+        init: T,
+        mut f: impl FnMut(T, Time, Time, &[HcSlot]) -> Option<T>,
+    ) -> Option<T> {
+        let r_lo = self.lo_resp[i];
+        streams.clear();
+        slots.clear();
+        let mut lc = Time::ZERO;
+        for &j in self.hp(i) {
+            let tj = &self.tasks[j];
+            match tj.criticality() {
+                Criticality::Low => {
+                    // (⌊s/T⌋+1)·C^L: one job at s = 0, stepping at every
+                    // multiple of T.
+                    lc += tj.wcet_lo();
+                    streams.push(CandStream {
+                        next: tj.period(),
+                        stride: tj.period(),
+                        count: 0,
+                        kind: StreamKind::Lc { cost: tj.wcet_lo() },
+                    });
+                }
+                Criticality::High => {
+                    // M(k, s) = max(by_deadline, by_release) steps at
+                    // D + a·T (deadline bound) and at multiples of T
+                    // (release bound).
+                    let slot = slots.len();
+                    slots.push(HcSlot {
+                        wcet_lo: tj.wcet_lo(),
+                        wcet_hi: tj.wcet_hi(),
+                        period: tj.period(),
+                        m: 0,
+                    });
+                    streams.push(CandStream {
+                        next: tj.deadline(),
+                        stride: tj.period(),
+                        count: 0,
+                        kind: StreamKind::Hc { slot },
+                    });
+                    streams.push(CandStream {
+                        next: tj.period(),
+                        stride: tj.period(),
+                        count: 0,
+                        kind: StreamKind::Hc { slot },
+                    });
+                }
+            }
+        }
+        // s = 0 is always a candidate.
+        let mut acc = f(init, Time::ZERO, lc, slots)?;
+        loop {
+            // k-way merge: the earliest pending step strictly below R^LO.
+            let mut s = r_lo;
+            for stream in streams.iter() {
+                if stream.next < s {
+                    s = stream.next;
+                }
+            }
+            if s >= r_lo {
+                return Some(acc);
+            }
+            // Fire every stream stepping at s (coinciding steps collapse
+            // into the one candidate, replacing the seed path's dedup).
+            for stream in streams.iter_mut() {
+                if stream.next != s {
+                    continue;
+                }
+                stream.count += 1;
+                match stream.kind {
+                    StreamKind::Lc { cost } => lc += cost,
+                    StreamKind::Hc { slot } => {
+                        let m = &mut slots[slot].m;
+                        *m = (*m).max(stream.count);
+                    }
+                }
+                // Saturating stepping is the exact overflow guard: a
+                // mathematical next step beyond `u64::MAX` also lies
+                // beyond `R^LO_i ≤ u64::MAX`, and the saturated value
+                // fails the `next < r_lo` test just the same, ending the
+                // stream instead of wrapping (or panicking) near
+                // `Time::MAX`.
+                stream.next = stream.next.saturating_add(stream.stride);
+            }
+            acc = f(acc, s, lc, slots)?;
+        }
+    }
+
+    /// The seed implementation of the AMC-max bound — materialise, sort
+    /// and deduplicate the candidate instants, then re-derive every
+    /// interference term per candidate. Retained (not called on the hot
+    /// path) as the equivalence reference for the streaming walk; see
+    /// [`crate::amc::reference`].
+    fn max_bound_reference(&self, i: usize) -> Option<Time> {
+        let mut worst = Time::ZERO;
+        for s in self.switch_candidates(i) {
+            let r = self.max_response_at(i, s)?;
+            worst = worst.max(r);
+        }
+        match self.rtb_response(i) {
+            Some(rtb) => Some(worst.min(rtb)),
+            None => Some(worst),
+        }
+    }
+
+    /// AMC-max response for switch instant `s` (reference path).
     fn max_response_at(&self, i: usize, s: Time) -> Option<Time> {
         let ti = &self.tasks[i];
         let hp = self.hp(i);
@@ -254,7 +482,9 @@ impl AmcContext<'_> {
     }
 
     /// Candidate switch instants for task `i`: points in `[0, R^LO_i)`
-    /// where some interference term steps, plus 0.
+    /// where some interference term steps, plus 0 (reference path; the hot
+    /// path streams the same instants through
+    /// [`AmcContext::fold_candidates`] without materialising them).
     fn switch_candidates(&self, i: usize) -> Vec<Time> {
         let r_lo = self.lo_resp[i];
         let mut cands = vec![Time::ZERO];
@@ -339,32 +569,58 @@ impl AmcRtb {
     /// first), if one exists. Exposed so the simulator can run the
     /// assignment the analysis certified.
     pub fn audsley_order(ts: &TaskSet) -> Option<Vec<usize>> {
-        let n = ts.len();
-        let mut unassigned: Vec<usize> = (0..n).collect();
-        let mut lowest_first: Vec<usize> = Vec::with_capacity(n);
-        while !unassigned.is_empty() {
-            // Find a task that is feasible at the current (lowest free)
-            // priority level, with every other unassigned task above it.
-            let found = unassigned.iter().position(|&i| {
-                let hp: Vec<usize> = unassigned.iter().copied().filter(|&j| j != i).collect();
-                rtb_feasible_with_hp(ts, i, &hp)
-            })?;
-            let task = unassigned.remove(found);
-            lowest_first.push(task);
-        }
-        lowest_first.reverse();
-        Some(lowest_first)
+        AnalysisWorkspace::with(|ws| {
+            let AnalysisWorkspace { idx, idx2, .. } = ws;
+            if !audsley_lowest_first(ts.as_slice(), idx, idx2) {
+                return None;
+            }
+            Some(idx2.iter().rev().copied().collect())
+        })
     }
 }
 
-/// Checks task `i` at the lowest priority level below the tasks in `hp`
-/// (low-mode RTA, and the rtb high-mode bound when `i` is HC).
-fn rtb_feasible_with_hp(ts: &TaskSet, i: usize, hp: &[usize]) -> bool {
-    let tasks = ts.as_slice();
+/// The Audsley search over caller scratch: fills `lowest_first` with the
+/// assignment from the lowest priority level up, returning `false` when
+/// some level has no feasible task. The allocation-free core behind
+/// [`AmcRtb::audsley_order`], the one-shot OPA test and the incremental
+/// OPA admission probes.
+fn audsley_lowest_first(
+    tasks: &[Task],
+    unassigned: &mut Vec<usize>,
+    lowest_first: &mut Vec<usize>,
+) -> bool {
+    unassigned.clear();
+    unassigned.extend(0..tasks.len());
+    lowest_first.clear();
+    while !unassigned.is_empty() {
+        // Find a task that is feasible at the current (lowest free)
+        // priority level, with every other unassigned task above it.
+        let found = (0..unassigned.len()).find(|&p| rtb_feasible_at(tasks, unassigned, p));
+        match found {
+            Some(p) => lowest_first.push(unassigned.remove(p)),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Checks `unassigned[p]` at the lowest priority level below every other
+/// unassigned task (low-mode RTA, and the rtb high-mode bound when it is
+/// HC). The higher-priority set is iterated in place — no materialised
+/// `hp` vector; interference sums are integer, so the order of terms is
+/// irrelevant to the fixed points.
+fn rtb_feasible_at(tasks: &[Task], unassigned: &[usize], p: usize) -> bool {
+    let i = unassigned[p];
     let ti = &tasks[i];
+    let hp = || {
+        unassigned
+            .iter()
+            .enumerate()
+            .filter(move |&(q, _)| q != p)
+            .map(|(_, &j)| j)
+    };
     let lo = fixpoint(ti.wcet_lo(), ti.deadline(), |r| {
-        hp.iter()
-            .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+        hp().map(|j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
             .sum()
     });
     let Some(lo_resp) = lo else {
@@ -374,17 +630,26 @@ fn rtb_feasible_with_hp(ts: &TaskSet, i: usize, hp: &[usize]) -> bool {
         return true;
     }
     fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
-        hp.iter()
-            .map(|&j| {
-                let tj = &tasks[j];
-                match tj.criticality() {
-                    Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
-                    Criticality::Low => tj.wcet_lo() * lo_resp.div_ceil(tj.period()),
-                }
-            })
-            .sum()
+        hp().map(|j| {
+            let tj = &tasks[j];
+            match tj.criticality() {
+                Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
+                Criticality::Low => tj.wcet_lo() * lo_resp.div_ceil(tj.period()),
+            }
+        })
+        .sum()
     })
     .is_some()
+}
+
+impl AmcRtb {
+    fn variant(&self) -> AmcVariant {
+        if self.audsley {
+            AmcVariant::RtbAudsley
+        } else {
+            AmcVariant::RtbDm
+        }
+    }
 }
 
 impl SchedulabilityTest for AmcRtb {
@@ -396,15 +661,24 @@ impl SchedulabilityTest for AmcRtb {
         }
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
+        AnalysisWorkspace::with(|ws| self.is_schedulable_in(ts, ws))
+    }
+
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
         if self.audsley {
-            AmcRtb::audsley_order(ts).is_some()
+            let AnalysisWorkspace { idx, idx2, .. } = ws;
+            audsley_lowest_first(ts.as_slice(), idx, idx2)
         } else {
-            amc_schedulable(ts, |ctx, i| ctx.rtb_response(i))
+            amc_schedulable_in(ts, AmcVariant::RtbDm, ws)
         }
     }
 
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
+    }
+
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        Box::new(AmcState::with_workspace(self.variant(), ws.clone()))
     }
 }
 
@@ -412,11 +686,7 @@ impl IncrementalTest for AmcRtb {
     type State = AmcState;
 
     fn new_state(&self) -> AmcState {
-        AmcState::new(if self.audsley {
-            AmcVariant::RtbAudsley
-        } else {
-            AmcVariant::RtbDm
-        })
+        AmcState::with_workspace(self.variant(), WorkspaceRef::new())
     }
 }
 
@@ -459,11 +729,19 @@ impl SchedulabilityTest for AmcMax {
         "AMC-max"
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
-        amc_schedulable(ts, |ctx, i| ctx.max_bound(i))
+        AnalysisWorkspace::with(|ws| self.is_schedulable_in(ts, ws))
+    }
+
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        amc_schedulable_in(ts, AmcVariant::Max, ws)
     }
 
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
+    }
+
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        Box::new(AmcState::with_workspace(AmcVariant::Max, ws.clone()))
     }
 }
 
@@ -471,7 +749,7 @@ impl IncrementalTest for AmcMax {
     type State = AmcState;
 
     fn new_state(&self) -> AmcState {
-        AmcState::new(AmcVariant::Max)
+        AmcState::with_workspace(AmcVariant::Max, WorkspaceRef::new())
     }
 }
 
@@ -490,7 +768,7 @@ enum AmcVariant {
 /// The cached per-processor analysis of a committed, schedulable set:
 /// the DM priority order plus every response-time fixed point.
 #[derive(Debug, Clone, Default)]
-struct AmcCache {
+pub(crate) struct AmcCache {
     /// Task indices from highest to lowest priority.
     order: Vec<usize>,
     /// Low-mode response time per task index.
@@ -498,6 +776,20 @@ struct AmcCache {
     /// High-mode response bound per task index (`None` for LC tasks).
     hi_resp: Vec<Option<Time>>,
 }
+
+impl AmcCache {
+    /// Empties the cache, keeping the buffers for reuse.
+    fn clear(&mut self) {
+        self.order.clear();
+        self.lo_resp.clear();
+        self.hi_resp.clear();
+    }
+}
+
+/// The workspace's name for the same buffers: the one-shot path reuses
+/// the incremental layer's cache type as scratch (see
+/// [`amc_schedulable_in`]).
+pub(crate) type AmcScratch = AmcCache;
 
 /// Incremental admission for the AMC response-time analyses.
 ///
@@ -508,202 +800,267 @@ struct AmcCache {
 /// **warm-started** from the previous responses, which converge to the
 /// same least fixed points (see `fixpoint_from`) — the verdict is
 /// exactly the one-shot test's, at a fraction of the iterations.
+/// All buffers — the committed cache, the candidate scratch cache and the
+/// shared [`AnalysisWorkspace`] — are reused across admission queries, so
+/// the steady-state probe path performs no heap allocations (pinned by
+/// `tests/zero_alloc.rs`).
 #[derive(Debug, Clone)]
 pub struct AmcState {
     variant: AmcVariant,
     committed: Committed,
-    /// `Some` whenever the committed set is known schedulable; `None`
-    /// forces the next query onto the full-analysis path.
-    cache: Option<AmcCache>,
-    /// The analysis computed by the last successful `try_admit`, adopted
-    /// by a matching `commit` without re-running anything.
-    pending: Option<(TaskId, AmcCache)>,
+    /// The committed set's analysis; meaningful only while `cache_valid`
+    /// (an invalid cache forces the next query onto the full-analysis
+    /// path, exactly as the seed behaviour after an unchecked commit).
+    cache: AmcCache,
+    cache_valid: bool,
+    /// The analysis computed by the last successful `try_admit`
+    /// (`pending` names its task), adopted by a matching `commit` with a
+    /// buffer swap instead of a re-run.
+    scratch: AmcCache,
+    pending: Option<TaskId>,
+    /// Scratch buffers shared with the other states of the same
+    /// partitioning run.
+    ws: WorkspaceRef,
 }
 
 impl AmcState {
-    fn new(variant: AmcVariant) -> Self {
+    fn with_workspace(variant: AmcVariant, ws: WorkspaceRef) -> Self {
         AmcState {
             variant,
             committed: Committed::default(),
-            cache: Some(AmcCache::default()),
+            cache: AmcCache::default(),
+            cache_valid: variant != AmcVariant::RtbAudsley,
+            scratch: AmcCache::default(),
             pending: None,
+            ws,
         }
-    }
-
-    /// Full analysis of a workspace (used for the non-incremental paths
-    /// and cache rebuilds). Returns `None` iff the one-shot test rejects.
-    fn analyze(tasks: &[Task], variant: AmcVariant) -> Option<AmcCache> {
-        let order = dm_order_slice(tasks);
-        let mut lo_resp = vec![Time::ZERO; tasks.len()];
-        for (pos, &i) in order.iter().enumerate() {
-            let hp = &order[..pos];
-            lo_resp[i] = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
-                hp.iter()
-                    .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-                    .sum()
-            })?;
-        }
-        let ctx = AmcContext {
-            tasks,
-            order: &order,
-            lo_resp: &lo_resp,
-        };
-        let mut hi_resp = vec![None; tasks.len()];
-        for &i in &order {
-            if tasks[i].criticality() == Criticality::High {
-                let bound = match variant {
-                    AmcVariant::RtbDm => ctx.rtb_response(i),
-                    AmcVariant::Max => ctx.max_bound(i),
-                    AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
-                };
-                match bound {
-                    Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
-                    _ => return None,
-                }
-            }
-        }
-        Some(AmcCache {
-            order,
-            lo_resp,
-            hi_resp,
-        })
-    }
-
-    /// The incremental admission query: reuse the prefix above the
-    /// insertion point, warm-start the suffix.
-    fn admit_incremental(&self, cache: &AmcCache, cand: &Task) -> Option<AmcCache> {
-        let tasks = self.committed.tasks.as_slice();
-        let n = tasks.len();
-        let mut workspace: Vec<Task> = Vec::with_capacity(n + 1);
-        workspace.extend_from_slice(tasks);
-        workspace.push(*cand);
-
-        // Insertion position in the (sorted, duplicate-free) DM order.
-        let key = (cand.deadline(), cand.id());
-        let p = cache
-            .order
-            .partition_point(|&i| (tasks[i].deadline(), tasks[i].id()) < key);
-        let mut order = Vec::with_capacity(n + 1);
-        order.extend_from_slice(&cache.order[..p]);
-        order.push(n);
-        order.extend_from_slice(&cache.order[p..]);
-
-        // Low-mode RTA: positions above p are untouched; the candidate
-        // starts cold, the suffix warm-starts from its previous response.
-        let mut lo_resp = vec![Time::ZERO; n + 1];
-        for &i in &cache.order[..p] {
-            lo_resp[i] = cache.lo_resp[i];
-        }
-        for pos in p..=n {
-            let i = order[pos];
-            let hp = &order[..pos];
-            let start = if i == n {
-                workspace[i].wcet_lo()
-            } else {
-                cache.lo_resp[i]
-            };
-            lo_resp[i] = fixpoint_from(
-                start,
-                workspace[i].wcet_lo(),
-                workspace[i].deadline(),
-                |r| {
-                    hp.iter()
-                        .map(|&j| workspace[j].wcet_lo() * r.div_ceil(workspace[j].period()))
-                        .sum()
-                },
-            )?;
-        }
-
-        let ctx = AmcContext {
-            tasks: &workspace,
-            order: &order,
-            lo_resp: &lo_resp,
-        };
-        let mut hi_resp = vec![None; n + 1];
-        for (pos, &i) in order.iter().enumerate() {
-            if workspace[i].criticality() != Criticality::High {
-                continue;
-            }
-            if pos < p {
-                // Higher priority than the candidate: identical inputs,
-                // identical bound.
-                hi_resp[i] = cache.hi_resp[i];
-                continue;
-            }
-            let bound = match self.variant {
-                AmcVariant::RtbDm => {
-                    let start = if i == n {
-                        workspace[i].wcet_hi()
-                    } else {
-                        cache.hi_resp[i].unwrap_or_else(|| workspace[i].wcet_hi())
-                    };
-                    ctx.rtb_response_from(i, start)
-                }
-                AmcVariant::Max => ctx.max_bound(i),
-                AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
-            };
-            match bound {
-                Some(r) if r <= workspace[i].deadline() => hi_resp[i] = Some(r),
-                _ => return None,
-            }
-        }
-        Some(AmcCache {
-            order,
-            lo_resp,
-            hi_resp,
-        })
     }
 
     fn rebuild_cache(&mut self) {
         self.pending = None;
-        self.cache = match self.variant {
-            AmcVariant::RtbAudsley => None,
-            _ => Self::analyze(self.committed.tasks.as_slice(), self.variant),
-        };
+        match self.variant {
+            AmcVariant::RtbAudsley => self.cache_valid = false,
+            _ => {
+                let mut ws = self.ws.borrow_mut();
+                let ws = &mut *ws;
+                self.cache_valid = analyze_into(
+                    self.committed.tasks.as_slice(),
+                    self.variant,
+                    &mut ws.streams,
+                    &mut ws.hc,
+                    &mut self.cache,
+                );
+            }
+        }
     }
+}
+
+/// Full analysis of `tasks` into `out` (used for the non-incremental
+/// paths and cache rebuilds); `streams`/`slots` are candidate-walk
+/// scratch. Returns `false` iff the one-shot test rejects — `out` is then
+/// partial and must be treated as invalid.
+fn analyze_into(
+    tasks: &[Task],
+    variant: AmcVariant,
+    streams: &mut Vec<CandStream>,
+    slots: &mut Vec<HcSlot>,
+    out: &mut AmcCache,
+) -> bool {
+    out.clear();
+    let AmcCache {
+        order,
+        lo_resp,
+        hi_resp,
+    } = out;
+    dm_order_into(tasks, order);
+    lo_resp.resize(tasks.len(), Time::ZERO);
+    for (pos, &i) in order.iter().enumerate() {
+        let hp = &order[..pos];
+        let Some(r) = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
+            hp.iter()
+                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+                .sum()
+        }) else {
+            return false;
+        };
+        lo_resp[i] = r;
+    }
+    let ctx = AmcContext {
+        tasks,
+        order: order.as_slice(),
+        lo_resp: lo_resp.as_slice(),
+    };
+    hi_resp.resize(tasks.len(), None);
+    for &i in ctx.order.iter() {
+        if tasks[i].criticality() != Criticality::High {
+            continue;
+        }
+        let bound = match variant {
+            AmcVariant::RtbDm => ctx.rtb_response(i),
+            AmcVariant::Max => ctx.max_bound_in(i, streams, slots),
+            AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+        };
+        match bound {
+            Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The incremental admission query: reuse the prefix above the insertion
+/// point, warm-start the suffix. The union set is assembled in `union`
+/// and the analysis lands in `out`, both reused across probes. Returns
+/// `false` iff the one-shot test rejects the union.
+#[allow(clippy::too_many_arguments)]
+fn admit_incremental_into(
+    committed: &[Task],
+    cache: &AmcCache,
+    cand: &Task,
+    variant: AmcVariant,
+    union: &mut Vec<Task>,
+    streams: &mut Vec<CandStream>,
+    slots: &mut Vec<HcSlot>,
+    out: &mut AmcCache,
+) -> bool {
+    let n = committed.len();
+    union.clear();
+    union.extend_from_slice(committed);
+    union.push(*cand);
+    let tasks = union.as_slice();
+
+    // Insertion position in the (sorted, duplicate-free) DM order.
+    let key = (cand.deadline(), cand.id());
+    let p = cache
+        .order
+        .partition_point(|&i| (committed[i].deadline(), committed[i].id()) < key);
+    out.clear();
+    let AmcCache {
+        order,
+        lo_resp,
+        hi_resp,
+    } = out;
+    order.extend_from_slice(&cache.order[..p]);
+    order.push(n);
+    order.extend_from_slice(&cache.order[p..]);
+
+    // Low-mode RTA: positions above p are untouched; the candidate
+    // starts cold, the suffix warm-starts from its previous response.
+    lo_resp.resize(n + 1, Time::ZERO);
+    for &i in &cache.order[..p] {
+        lo_resp[i] = cache.lo_resp[i];
+    }
+    for pos in p..=n {
+        let i = order[pos];
+        let hp = &order[..pos];
+        let start = if i == n {
+            tasks[i].wcet_lo()
+        } else {
+            cache.lo_resp[i]
+        };
+        let Some(r) = fixpoint_from(start, tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
+            hp.iter()
+                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+                .sum()
+        }) else {
+            return false;
+        };
+        lo_resp[i] = r;
+    }
+
+    let ctx = AmcContext {
+        tasks,
+        order: order.as_slice(),
+        lo_resp: lo_resp.as_slice(),
+    };
+    hi_resp.resize(n + 1, None);
+    for (pos, &i) in ctx.order.iter().enumerate() {
+        if tasks[i].criticality() != Criticality::High {
+            continue;
+        }
+        if pos < p {
+            // Higher priority than the candidate: identical inputs,
+            // identical bound.
+            hi_resp[i] = cache.hi_resp[i];
+            continue;
+        }
+        let bound = match variant {
+            AmcVariant::RtbDm => {
+                let start = if i == n {
+                    tasks[i].wcet_hi()
+                } else {
+                    cache.hi_resp[i].unwrap_or_else(|| tasks[i].wcet_hi())
+                };
+                ctx.rtb_response_from(i, start)
+            }
+            AmcVariant::Max => ctx.max_bound_in(i, streams, slots),
+            AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+        };
+        match bound {
+            Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
+            _ => return false,
+        }
+    }
+    true
 }
 
 impl AdmissionState for AmcState {
     fn try_admit(&mut self, task: &Task) -> bool {
+        let mut ws = self.ws.borrow_mut();
+        let ws = &mut *ws;
         if self.variant == AmcVariant::RtbAudsley {
             // OPA re-searches priorities from scratch; no DM structure to
-            // reuse.
-            let mut candidate = self.committed.tasks.clone();
-            candidate.push_unchecked(*task);
-            let ok = AmcRtb::audsley_order(&candidate).is_some();
+            // reuse — but the union and the search run entirely in
+            // workspace buffers.
+            let AnalysisWorkspace {
+                idx, idx2, tasks, ..
+            } = ws;
+            tasks.clear();
+            tasks.extend_from_slice(self.committed.tasks.as_slice());
+            tasks.push(*task);
+            let ok = audsley_lowest_first(tasks, idx, idx2);
             self.committed.record(false, ok);
             return ok;
         }
-        match self.cache.take() {
-            Some(cache) => {
-                let admitted = self.admit_incremental(&cache, task);
-                let ok = admitted.is_some();
-                self.pending = admitted.map(|c| (task.id(), c));
-                self.cache = Some(cache);
-                self.committed.record(true, ok);
-                ok
-            }
-            None => {
-                // Committed set not known schedulable (e.g. after an
-                // unchecked commit): fall back to a full analysis of the
-                // union, exactly the one-shot verdict.
-                let mut workspace: Vec<Task> = Vec::with_capacity(self.committed.tasks.len() + 1);
-                workspace.extend_from_slice(self.committed.tasks.as_slice());
-                workspace.push(*task);
-                let admitted = Self::analyze(&workspace, self.variant);
-                let ok = admitted.is_some();
-                self.pending = admitted.map(|c| (task.id(), c));
-                self.committed.record(false, ok);
-                ok
-            }
-        }
+        let ok = if self.cache_valid {
+            let ok = admit_incremental_into(
+                self.committed.tasks.as_slice(),
+                &self.cache,
+                task,
+                self.variant,
+                &mut ws.tasks,
+                &mut ws.streams,
+                &mut ws.hc,
+                &mut self.scratch,
+            );
+            self.committed.record(true, ok);
+            ok
+        } else {
+            // Committed set not known schedulable (e.g. after an
+            // unchecked commit): fall back to a full analysis of the
+            // union, exactly the one-shot verdict.
+            let AnalysisWorkspace {
+                tasks, streams, hc, ..
+            } = ws;
+            tasks.clear();
+            tasks.extend_from_slice(self.committed.tasks.as_slice());
+            tasks.push(*task);
+            let ok = analyze_into(tasks, self.variant, streams, hc, &mut self.scratch);
+            self.committed.record(false, ok);
+            ok
+        };
+        self.pending = if ok { Some(task.id()) } else { None };
+        ok
     }
 
     fn commit(&mut self, task: Task) {
         match self.pending.take() {
-            Some((id, cache)) if id == task.id() => {
+            Some(id) if id == task.id() => {
                 self.committed.push(task);
-                self.cache = Some(cache);
+                // Adopt the probe's analysis by swapping buffers — the
+                // displaced cache becomes the next probe's scratch.
+                std::mem::swap(&mut self.cache, &mut self.scratch);
+                self.cache_valid = true;
             }
             _ => {
                 self.committed.push(task);
@@ -731,15 +1088,92 @@ impl AdmissionState for AmcState {
     fn take_tasks(&mut self) -> TaskSet {
         let tasks = self.committed.take();
         self.pending = None;
-        self.cache = match self.variant {
-            AmcVariant::RtbAudsley => None,
-            _ => Some(AmcCache::default()),
-        };
+        self.cache.clear();
+        self.cache_valid = self.variant != AmcVariant::RtbAudsley;
         tasks
     }
 
     fn stats(&self) -> AdmissionStats {
         self.committed.stats
+    }
+}
+
+/// Seed (allocating) AMC implementations retained **verbatim** as the
+/// equivalence reference for the streaming, workspace-backed hot path.
+///
+/// The property tests (`tests/analysis_workspace.rs`) and the
+/// `BENCH_analysis.json` throughput artifact (`mcexp --analysis-json`)
+/// compare the hot path against these; nothing on the hot path calls
+/// them.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// The seed AMC-rtb one-shot verdict (per-call allocating path).
+    pub fn amc_rtb_is_schedulable(ts: &TaskSet) -> bool {
+        amc_schedulable(ts, |ctx, i| ctx.rtb_response(i))
+    }
+
+    /// The seed AMC-max one-shot verdict: materialise + sort + dedup the
+    /// candidate switch instants per task, then re-derive every
+    /// interference term at each candidate.
+    pub fn amc_max_is_schedulable(ts: &TaskSet) -> bool {
+        amc_schedulable(ts, |ctx, i| ctx.max_bound_reference(i))
+    }
+
+    /// The sorted-deduplicated candidate switch instants of `task_index`
+    /// under the seed implementation; `None` when the set fails low-mode
+    /// RTA (candidates are then undefined).
+    pub fn amc_max_candidates(ts: &TaskSet, task_index: usize) -> Option<Vec<Time>> {
+        with_ctx(ts, |ctx| ctx.switch_candidates(task_index))
+    }
+
+    /// The candidate instants the streaming walk visits, in visit order
+    /// (must equal [`amc_max_candidates`] exactly).
+    pub fn amc_max_candidates_streamed(ts: &TaskSet, task_index: usize) -> Option<Vec<Time>> {
+        with_ctx(ts, |ctx| {
+            let mut streams = Vec::new();
+            let mut slots = Vec::new();
+            ctx.fold_candidates(
+                task_index,
+                &mut streams,
+                &mut slots,
+                Vec::new(),
+                |mut acc, s, _, _| {
+                    acc.push(s);
+                    Some(acc)
+                },
+            )
+            .expect("collection never aborts")
+        })
+    }
+
+    /// The seed AMC-max response bound of `task_index`; outer `None` when
+    /// low-mode RTA fails, inner `None` when some switch instant is
+    /// infeasible.
+    pub fn amc_max_bound(ts: &TaskSet, task_index: usize) -> Option<Option<Time>> {
+        with_ctx(ts, |ctx| ctx.max_bound_reference(task_index))
+    }
+
+    /// The streaming AMC-max response bound of `task_index` (must equal
+    /// [`amc_max_bound`] exactly).
+    pub fn amc_max_bound_streamed(ts: &TaskSet, task_index: usize) -> Option<Option<Time>> {
+        with_ctx(ts, |ctx| {
+            let mut streams = Vec::new();
+            let mut slots = Vec::new();
+            ctx.max_bound_in(task_index, &mut streams, &mut slots)
+        })
+    }
+
+    fn with_ctx<R>(ts: &TaskSet, f: impl FnOnce(&AmcContext<'_>) -> R) -> Option<R> {
+        let order = dm_order(ts);
+        let lo_resp = LoRta::compute_with_order(ts, &order)?;
+        let ctx = AmcContext {
+            tasks: ts.as_slice(),
+            order: &order,
+            lo_resp: &lo_resp,
+        };
+        Some(f(&ctx))
     }
 }
 
@@ -1033,6 +1467,67 @@ mod tests {
         let c = Task::lo(2, 30, 4).unwrap();
         let expected = crate::incremental::clone_and_retest(&test, state.tasks(), &c);
         assert_eq!(state.try_admit(&c), expected);
+    }
+
+    #[test]
+    fn streaming_walk_matches_reference_on_grid() {
+        // Grid of small sets: the streaming walk must visit exactly the
+        // sorted-deduplicated candidate set, return identical bounds and
+        // produce identical verdicts.
+        for ch in 3..=8u64 {
+            for cl2 in 1..=4u64 {
+                for c3 in 1..=6u64 {
+                    let ts = set(vec![
+                        Task::hi(0, 12, 2, ch).unwrap(),
+                        Task::hi(1, 20, cl2, cl2 + 3).unwrap(),
+                        Task::lo(2, 15, c3).unwrap(),
+                    ]);
+                    assert_eq!(
+                        AmcMax::new().is_schedulable(&ts),
+                        reference::amc_max_is_schedulable(&ts),
+                        "verdict diverged on {ts}"
+                    );
+                    for i in 0..ts.len() {
+                        assert_eq!(
+                            reference::amc_max_candidates_streamed(&ts, i),
+                            reference::amc_max_candidates(&ts, i),
+                            "candidates diverged for τ{i} of {ts}"
+                        );
+                        assert_eq!(
+                            reference::amc_max_bound_streamed(&ts, i),
+                            reference::amc_max_bound(&ts, i),
+                            "bounds diverged for τ{i} of {ts}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_stepping_survives_near_max_times() {
+        // Regression: the seed stepping loop (`t += period`) overflowed
+        // u64 arithmetic when a step sequence approached Time::MAX; the
+        // streaming walk saturates instead, which is exact (a step beyond
+        // u64::MAX is also beyond R^LO).
+        let big = 1u64 << 63;
+        let ts = set(vec![
+            Task::hi_constrained(0, big + 2, 1, 1, big).unwrap(),
+            Task::hi_constrained(1, big + 100, big + 10, big + 10, big + 50).unwrap(),
+        ]);
+        // R^LO_1 = 2^63 + 12: τ0's deadline stream fires once (at D = 2^63)
+        // and its release stream once (at T = 2^63 + 2); both next steps
+        // exceed u64::MAX and must end the streams, not wrap or panic.
+        let cands = reference::amc_max_candidates_streamed(&ts, 1).expect("LO feasible");
+        assert_eq!(cands, vec![Time::ZERO, Time::new(big), Time::new(big + 2)],);
+        // The full tests run without panicking on the same set.
+        assert!(AmcMax::new().is_schedulable(&ts));
+        assert!(AmcRtb::new().is_schedulable(&ts));
+        // And the incremental state handles it identically.
+        let mut state = AmcMax::new().new_state();
+        assert!(state.try_admit(&ts.as_slice()[0]));
+        state.commit(ts.as_slice()[0]);
+        assert!(state.try_admit(&ts.as_slice()[1]));
     }
 
     #[test]

@@ -253,10 +253,34 @@ fn violation_horizon_lo(tasks: &[VdTask], util: f64) -> Time {
 /// Verifies the high-mode condition `Σ_HC dbf_HI(t) ≤ t` for all `t` up to
 /// the busy-window bound `Σ_HC (C^H_i + u^H_i·(Ti − di)) / (1 − Σ u^H_i)`.
 pub fn check_hi_mode(tasks: &[VdTask]) -> DemandCheck {
-    let hc: Vec<&VdTask> = tasks
+    let hc: Vec<VdTask> = tasks
         .iter()
         .filter(|vt| vt.task.criticality().is_high())
+        .copied()
         .collect();
+    check_hi_mode_hc(&hc)
+}
+
+/// As [`check_hi_mode`], with the HC subset copied once into a reusable
+/// scratch buffer (cleared first) so the QPA descent's repeated demand
+/// evaluations iterate a contiguous HC-only slice instead of
+/// re-filtering the whole set at every point — and so the greedy tuners'
+/// inner loop stays allocation-free. Filtering preserves slice order, so
+/// every floating-point sum accumulates in exactly the order the seed
+/// implementation used; the result is identical to `check_hi_mode`.
+pub fn check_hi_mode_in(tasks: &[VdTask], hc_scratch: &mut Vec<VdTask>) -> DemandCheck {
+    hc_scratch.clear();
+    hc_scratch.extend(
+        tasks
+            .iter()
+            .filter(|vt| vt.task.criticality().is_high())
+            .copied(),
+    );
+    check_hi_mode_hc(hc_scratch)
+}
+
+/// The high-mode check over an HC-only slice.
+fn check_hi_mode_hc(hc: &[VdTask]) -> DemandCheck {
     if hc.is_empty() {
         return DemandCheck::Ok;
     }
@@ -265,7 +289,7 @@ pub fn check_hi_mode(tasks: &[VdTask]) -> DemandCheck {
         .map(|vt| vt.task.wcet_hi().as_f64() / vt.task.period().as_f64())
         .sum();
     if util > 1.0 + UTIL_EPS {
-        return DemandCheck::Violation(violation_horizon_hi(&hc, util));
+        return DemandCheck::Violation(violation_horizon_hi(hc, util));
     }
     if util >= 1.0 - UTIL_EPS {
         // The busy-window bound degenerates; conservatively refuse.
@@ -283,7 +307,7 @@ pub fn check_hi_mode(tasks: &[VdTask]) -> DemandCheck {
     qpa_check(bound, |t| hc.iter().map(|vt| dbf_hi(vt, t)).sum::<Time>())
 }
 
-fn violation_horizon_hi(hc: &[&VdTask], util: f64) -> Time {
+fn violation_horizon_hi(hc: &[VdTask], util: f64) -> Time {
     let k: f64 = hc
         .iter()
         .map(|vt| {

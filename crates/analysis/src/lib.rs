@@ -65,6 +65,7 @@ pub mod dbf;
 pub mod edfvd;
 pub mod incremental;
 pub mod vdtune;
+pub mod workspace;
 
 pub use amc::{AmcMax, AmcRtb, AmcState, LoRta};
 pub use classic::{ClassicEdf, ClassicFp};
@@ -74,6 +75,7 @@ pub use incremental::{
     AdmissionState, AdmissionStats, CloneRetestState, IncrementalTest, OneShot, OneShotState,
 };
 pub use vdtune::{Ecdf, Ey, VdAssignment, VdTuneState};
+pub use workspace::{AnalysisWorkspace, PooledWorkspace, WorkspaceRef};
 
 use mcsched_model::TaskSet;
 
@@ -97,6 +99,20 @@ pub trait SchedulabilityTest {
     /// test's assumptions, `false` means "not proven schedulable".
     fn is_schedulable(&self, ts: &TaskSet) -> bool;
 
+    /// As [`is_schedulable`](SchedulabilityTest::is_schedulable), over
+    /// caller-supplied scratch buffers.
+    ///
+    /// The native tests route their whole analysis through the workspace,
+    /// so a caller that reuses one across many calls (the experiment
+    /// engine's per-worker evaluators, the partitioning inner loop) pays
+    /// **zero steady-state allocations**; the verdict is always identical
+    /// to `is_schedulable`. The default ignores the workspace and runs the
+    /// plain one-shot test, so foreign tests are unaffected.
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        let _ = ws;
+        self.is_schedulable(ts)
+    }
+
     /// Creates an empty per-processor admission state (the stateful layer
     /// of [`incremental`]).
     ///
@@ -108,6 +124,19 @@ pub trait SchedulabilityTest {
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(CloneRetestState::new(self))
     }
+
+    /// As [`admission_state`](SchedulabilityTest::admission_state), with
+    /// the state's scratch buffers shared through `ws`.
+    ///
+    /// `Partition::build_reporting` passes one [`WorkspaceRef`] to all `m`
+    /// per-processor states of a run, so the whole build shares a single
+    /// set of scratch buffers and the admission path allocates nothing in
+    /// steady state. Verdicts are identical to `admission_state` — the
+    /// workspace holds scratch only. The default ignores `ws`.
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        let _ = ws;
+        self.admission_state()
+    }
 }
 
 impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for &T {
@@ -117,8 +146,14 @@ impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for &T {
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         (**self).is_schedulable(ts)
     }
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        (**self).is_schedulable_in(ts, ws)
+    }
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         (**self).admission_state()
+    }
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        (**self).admission_state_in(ws)
     }
 }
 
@@ -129,8 +164,14 @@ impl<T: SchedulabilityTest + ?Sized> SchedulabilityTest for Box<T> {
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
         (**self).is_schedulable(ts)
     }
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        (**self).is_schedulable_in(ts, ws)
+    }
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         (**self).admission_state()
+    }
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        (**self).admission_state_in(ws)
     }
 }
 

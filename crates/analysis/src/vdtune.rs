@@ -27,6 +27,7 @@
 
 use crate::dbf::{self, DemandCheck, VdTask};
 use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
+use crate::workspace::{AnalysisWorkspace, WorkspaceRef};
 use crate::SchedulabilityTest;
 use mcsched_model::{SystemUtilization, Task, TaskId, TaskSet, Time};
 
@@ -84,12 +85,24 @@ fn untightened(ts: &TaskSet) -> Vec<VdTask> {
     ts.iter().map(|&t| VdTask::untightened(t)).collect()
 }
 
+/// [`untightened`] into a reusable buffer (cleared first).
+fn untightened_into(ts: &TaskSet, out: &mut Vec<VdTask>) {
+    out.clear();
+    out.extend(ts.iter().map(|&t| VdTask::untightened(t)));
+}
+
 /// Seeded assignment: every HC task pre-tightened so its carry-over job has
 /// at least `C^H − C^L` slack after the switch — ordered by how early its
 /// carry-over deadline would otherwise fall (tightest first), hence
 /// "earliest carry-over deadline first" seeding.
 fn slack_seeded(ts: &TaskSet) -> Vec<VdTask> {
     ts.iter().map(|&t| slack_seeded_task(&t)).collect()
+}
+
+/// [`slack_seeded`] into a reusable buffer (cleared first).
+fn slack_seeded_into(ts: &TaskSet, out: &mut Vec<VdTask>) {
+    out.clear();
+    out.extend(ts.iter().map(slack_seeded_task));
 }
 
 /// The per-task slack-seeded entry (shared with the incremental state's
@@ -106,7 +119,7 @@ fn slack_seeded_task(t: &Task) -> VdTask {
 
 /// One candidate tightening move for a HC task.
 #[derive(Debug, Clone, Copy)]
-struct Move {
+pub(crate) struct Move {
     idx: usize,
     new_vd: Time,
     gain: Time,
@@ -173,63 +186,92 @@ fn moves_for(tasks: &[VdTask], idx: usize, t_star: Time, rich: bool, out: &mut V
     }
 }
 
-/// Greedy descent from a starting assignment. Returns a feasible
-/// assignment or `None`.
-fn greedy(mut tasks: Vec<VdTask>, effort: Effort) -> Option<Vec<VdTask>> {
-    if !dbf::check_lo_mode(&tasks).is_ok() {
-        return None;
+/// Greedy descent from a starting assignment, run **in place**: on success
+/// `tasks` holds the feasible assignment. `moves` and `hc_scratch` are
+/// reusable scratch for the per-round candidate moves and the high-mode
+/// check's HC subset — the tuner's only other working sets — so the
+/// whole descent allocates nothing.
+fn greedy_in(
+    tasks: &mut [VdTask],
+    effort: Effort,
+    moves: &mut Vec<Move>,
+    hc_scratch: &mut Vec<VdTask>,
+) -> bool {
+    if !dbf::check_lo_mode(tasks).is_ok() {
+        return false;
     }
-    let mut moves: Vec<Move> = Vec::new();
     for _ in 0..effort.max_rounds {
-        let t_star = match dbf::check_hi_mode(&tasks) {
-            DemandCheck::Ok => return Some(tasks),
+        let t_star = match dbf::check_hi_mode_in(tasks, hc_scratch) {
+            DemandCheck::Ok => return true,
             DemandCheck::Violation(t) => t,
-            DemandCheck::Unbounded => return None,
+            DemandCheck::Unbounded => return false,
         };
         moves.clear();
         for idx in 0..tasks.len() {
-            moves_for(&tasks, idx, t_star, effort.rich_moves, &mut moves);
+            moves_for(tasks, idx, t_star, effort.rich_moves, moves);
         }
         // Largest demand reduction first; prefer the smallest deadline cut
-        // among equal gains (less low-mode damage).
-        moves.sort_by(|a, b| {
+        // among equal gains (less low-mode damage). The task-index
+        // tiebreak makes the order total for distinct moves — two moves
+        // tying on (gain, cut, idx) necessarily propose the same `new_vd`
+        // (cut determines it), so the never-allocating unstable sort
+        // yields exactly the applied-move sequence the seed's stable sort
+        // produced (ties across indices were inserted in index order).
+        moves.sort_unstable_by(|a, b| {
             b.gain
                 .cmp(&a.gain)
                 .then_with(|| (tasks[a.idx].vd - a.new_vd).cmp(&(tasks[b.idx].vd - b.new_vd)))
+                .then_with(|| a.idx.cmp(&b.idx))
         });
         let mut applied = false;
-        for mv in &moves {
+        for mv in moves.iter() {
             let prev = tasks[mv.idx].vd;
             tasks[mv.idx].vd = mv.new_vd;
-            if dbf::check_lo_mode(&tasks).is_ok() {
+            if dbf::check_lo_mode(tasks).is_ok() {
                 applied = true;
                 break;
             }
             tasks[mv.idx].vd = prev;
         }
         if !applied {
-            return None;
+            return false;
         }
     }
-    None
+    false
 }
 
-fn tune(ts: &TaskSet, effort: Effort) -> Option<VdAssignment> {
+/// Runs the tuner's greedy starts in the workspace's reusable buffers; on
+/// success the feasible assignment is left in `ws.vd`. Same starts, in
+/// the same order, as the allocating [`tune`] — identical verdicts.
+fn tune_in(ts: &TaskSet, effort: Effort, ws: &mut AnalysisWorkspace) -> bool {
     // Fast structural rejections shared by every start.
     let hi_util: f64 = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
     let lo_util: f64 = ts.utilization_lo_total();
     if hi_util > 1.0 || lo_util > 1.0 {
-        return None;
+        return false;
     }
-    if let Some(found) = greedy(untightened(ts), effort) {
-        return Some(VdAssignment { tasks: found });
+    let AnalysisWorkspace {
+        vd, vd_hc, moves, ..
+    } = ws;
+    untightened_into(ts, vd);
+    if greedy_in(vd, effort, moves, vd_hc) {
+        return true;
     }
     if effort.slack_seeded_start {
-        if let Some(found) = greedy(slack_seeded(ts), effort) {
-            return Some(VdAssignment { tasks: found });
+        slack_seeded_into(ts, vd);
+        if greedy_in(vd, effort, moves, vd_hc) {
+            return true;
         }
     }
-    None
+    false
+}
+
+fn tune(ts: &TaskSet, effort: Effort) -> Option<VdAssignment> {
+    AnalysisWorkspace::with(|ws| {
+        tune_in(ts, effort, ws).then(|| VdAssignment {
+            tasks: ws.vd.clone(),
+        })
+    })
 }
 
 /// The EY demand-bound test (Ekberg & Yi, ECRTS 2012 style).
@@ -276,10 +318,16 @@ impl SchedulabilityTest for Ey {
         "EY"
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
-        self.tune(ts).is_some()
+        AnalysisWorkspace::with(|ws| self.is_schedulable_in(ts, ws))
+    }
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        tune_in(ts, EY_EFFORT, ws)
     }
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
+    }
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        Box::new(VdTuneState::with_workspace(false, ws.clone()))
     }
 }
 
@@ -287,7 +335,7 @@ impl IncrementalTest for Ey {
     type State = VdTuneState;
 
     fn new_state(&self) -> VdTuneState {
-        VdTuneState::new(false)
+        VdTuneState::with_workspace(false, WorkspaceRef::new())
     }
 }
 
@@ -334,10 +382,18 @@ impl SchedulabilityTest for Ecdf {
         "ECDF"
     }
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
-        self.tune(ts).is_some()
+        AnalysisWorkspace::with(|ws| self.is_schedulable_in(ts, ws))
+    }
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        // Same starts, in the same order, as the allocating
+        // `tune(ECDF).or_else(tune(EY))` path.
+        tune_in(ts, ECDF_EFFORT, ws) || tune_in(ts, EY_EFFORT, ws)
     }
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
+    }
+    fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
+        Box::new(VdTuneState::with_workspace(true, ws.clone()))
     }
 }
 
@@ -345,7 +401,7 @@ impl IncrementalTest for Ecdf {
     type State = VdTuneState;
 
     fn new_state(&self) -> VdTuneState {
-        VdTuneState::new(true)
+        VdTuneState::with_workspace(true, WorkspaceRef::new())
     }
 }
 
@@ -374,10 +430,13 @@ pub struct VdTuneState {
     untightened: Vec<VdTask>,
     seeded: Vec<VdTask>,
     ecdf: bool,
+    /// Scratch for the per-probe tuner workspaces (the seed path cloned
+    /// the cached prefixes into fresh vectors on every probe).
+    ws: WorkspaceRef,
 }
 
 impl VdTuneState {
-    fn new(ecdf: bool) -> Self {
+    fn with_workspace(ecdf: bool, ws: WorkspaceRef) -> Self {
         VdTuneState {
             committed: Committed::default(),
             hi_util: 0.0,
@@ -385,6 +444,7 @@ impl VdTuneState {
             untightened: Vec::new(),
             seeded: Vec::new(),
             ecdf,
+            ws,
         }
     }
 
@@ -395,14 +455,6 @@ impl VdTuneState {
         self.lo_util = ts.utilization_lo_total();
         self.untightened = untightened(ts);
         self.seeded = slack_seeded(ts);
-    }
-
-    /// The candidate's untightened workspace: cached prefix + one entry.
-    fn untightened_with(&self, task: &Task) -> Vec<VdTask> {
-        let mut ws = Vec::with_capacity(self.untightened.len() + 1);
-        ws.extend_from_slice(&self.untightened);
-        ws.push(VdTask::untightened(*task));
-        ws
     }
 }
 
@@ -422,19 +474,39 @@ impl AdmissionState for VdTuneState {
             return false;
         }
         // Same greedy starts, in the same order, as the one-shot
-        // `tune(ECDF).or_else(tune(EY))` / `tune(EY)` path.
-        let ok = if self.ecdf {
-            greedy(self.untightened_with(task), ECDF_EFFORT).is_some()
-                || {
-                    let mut seeded = Vec::with_capacity(self.seeded.len() + 1);
-                    seeded.extend_from_slice(&self.seeded);
-                    seeded.push(slack_seeded_task(task));
-                    greedy(seeded, ECDF_EFFORT).is_some()
-                }
-                || greedy(self.untightened_with(task), EY_EFFORT).is_some()
-        } else {
-            greedy(self.untightened_with(task), EY_EFFORT).is_some()
+        // `tune(ECDF).or_else(tune(EY))` / `tune(EY)` path — each start
+        // refills the shared workspace buffer from the cached prefix plus
+        // the candidate's entry instead of allocating a fresh vector.
+        let mut ws = self.ws.borrow_mut();
+        let AnalysisWorkspace {
+            vd, vd_hc, moves, ..
+        } = &mut *ws;
+        let untightened = &self.untightened;
+        let seeded = &self.seeded;
+        let start_untightened = |vd: &mut Vec<VdTask>| {
+            vd.clear();
+            vd.extend_from_slice(untightened);
+            vd.push(VdTask::untightened(*task));
         };
+        let ok = if self.ecdf {
+            start_untightened(vd);
+            let mut ok = greedy_in(vd, ECDF_EFFORT, moves, vd_hc);
+            if !ok {
+                vd.clear();
+                vd.extend_from_slice(seeded);
+                vd.push(slack_seeded_task(task));
+                ok = greedy_in(vd, ECDF_EFFORT, moves, vd_hc);
+            }
+            if !ok {
+                start_untightened(vd);
+                ok = greedy_in(vd, EY_EFFORT, moves, vd_hc);
+            }
+            ok
+        } else {
+            start_untightened(vd);
+            greedy_in(vd, EY_EFFORT, moves, vd_hc)
+        };
+        drop(ws);
         self.committed.record(false, ok);
         ok
     }
@@ -479,6 +551,87 @@ impl AdmissionState for VdTuneState {
     }
 }
 
+/// Seed (allocating) EY / ECDF tuner retained **verbatim** as the
+/// equivalence reference for the workspace-backed hot path — the
+/// counterpart of [`crate::amc::reference`].
+///
+/// The `BENCH_analysis.json` artifact (`mcexp --analysis-json`) and the
+/// equivalence suites compare against these; nothing on the hot path
+/// calls them.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// The seed greedy descent: owns its working vector, allocates a move
+    /// list per call, and stable-sorts moves on the original two-key
+    /// comparator (the order the hot path's totalised unstable sort
+    /// reproduces exactly).
+    fn greedy(mut tasks: Vec<VdTask>, effort: Effort) -> Option<Vec<VdTask>> {
+        if !dbf::check_lo_mode(&tasks).is_ok() {
+            return None;
+        }
+        let mut moves: Vec<Move> = Vec::new();
+        for _ in 0..effort.max_rounds {
+            let t_star = match dbf::check_hi_mode(&tasks) {
+                DemandCheck::Ok => return Some(tasks),
+                DemandCheck::Violation(t) => t,
+                DemandCheck::Unbounded => return None,
+            };
+            moves.clear();
+            for idx in 0..tasks.len() {
+                moves_for(&tasks, idx, t_star, effort.rich_moves, &mut moves);
+            }
+            moves.sort_by(|a, b| {
+                b.gain
+                    .cmp(&a.gain)
+                    .then_with(|| (tasks[a.idx].vd - a.new_vd).cmp(&(tasks[b.idx].vd - b.new_vd)))
+            });
+            let mut applied = false;
+            for mv in &moves {
+                let prev = tasks[mv.idx].vd;
+                tasks[mv.idx].vd = mv.new_vd;
+                if dbf::check_lo_mode(&tasks).is_ok() {
+                    applied = true;
+                    break;
+                }
+                tasks[mv.idx].vd = prev;
+            }
+            if !applied {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The seed `tune`: fresh start vectors per attempt.
+    fn tune(ts: &TaskSet, effort: Effort) -> Option<Vec<VdTask>> {
+        let hi_util: f64 = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
+        let lo_util: f64 = ts.utilization_lo_total();
+        if hi_util > 1.0 || lo_util > 1.0 {
+            return None;
+        }
+        if let Some(found) = greedy(untightened(ts), effort) {
+            return Some(found);
+        }
+        if effort.slack_seeded_start {
+            if let Some(found) = greedy(slack_seeded(ts), effort) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// The seed EY verdict.
+    pub fn ey_is_schedulable(ts: &TaskSet) -> bool {
+        tune(ts, EY_EFFORT).is_some()
+    }
+
+    /// The seed ECDF verdict (ECDF starts, then the EY fallback).
+    pub fn ecdf_is_schedulable(ts: &TaskSet) -> bool {
+        tune(ts, ECDF_EFFORT).is_some() || tune(ts, EY_EFFORT).is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +639,36 @@ mod tests {
 
     fn set(tasks: Vec<Task>) -> TaskSet {
         TaskSet::try_from_tasks(tasks).unwrap()
+    }
+
+    #[test]
+    fn workspace_tuner_matches_seed_reference_on_grid() {
+        for t1 in [8u64, 10, 14, 20] {
+            for c1 in [1u64, 2, 3, 5] {
+                for h1 in [c1 + 1, c1 + 3] {
+                    for c2 in [2u64, 4, 6] {
+                        if h1 > t1 {
+                            continue;
+                        }
+                        let ts = set(vec![
+                            Task::hi(0, t1, c1, h1).unwrap(),
+                            Task::lo(1, 12, c2).unwrap(),
+                            Task::hi(2, 30, 2, 6).unwrap(),
+                        ]);
+                        assert_eq!(
+                            Ey::new().is_schedulable(&ts),
+                            reference::ey_is_schedulable(&ts),
+                            "EY diverged from seed on {ts}"
+                        );
+                        assert_eq!(
+                            Ecdf::new().is_schedulable(&ts),
+                            reference::ecdf_is_schedulable(&ts),
+                            "ECDF diverged from seed on {ts}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

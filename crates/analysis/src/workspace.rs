@@ -1,0 +1,206 @@
+//! Reusable scratch buffers for the analysis hot path.
+//!
+//! The schedulability tests sit inside the partitioning inner loop: the
+//! headline acceptance-ratio sweeps run them millions of times. Before
+//! this module existed, every call re-allocated its intermediate vectors
+//! (priority orders, response-time arrays, candidate switch instants,
+//! virtual-deadline workspaces). An [`AnalysisWorkspace`] owns all of
+//! those buffers once; the analyses `clear()` and refill them, so the
+//! steady-state path performs **zero heap allocations** (asserted by the
+//! counting-allocator test in `tests/zero_alloc.rs`).
+//!
+//! Two ways to get one:
+//!
+//! * [`AnalysisWorkspace::with`] — borrow a workspace from the
+//!   thread-local pool for the duration of a closure. This is what the
+//!   native tests' [`SchedulabilityTest::is_schedulable`] wrappers use, so
+//!   repeated one-shot calls on the same thread reuse the same buffers.
+//! * [`WorkspaceRef`] — a cheaply cloneable shared handle
+//!   (`Rc<RefCell<…>>`). `Partition::build_reporting` passes one handle to
+//!   all `m` per-processor admission states
+//!   ([`SchedulabilityTest::admission_state_in`]), so a whole partitioning
+//!   run shares a single set of scratch buffers. The experiment engine
+//!   creates one handle per worker thread.
+//!
+//! Workspaces hold only *scratch*: nothing observable ever depends on a
+//! buffer's previous contents, so sharing or pooling them cannot change
+//! any verdict (the equivalence suites in `tests/` pin this).
+//!
+//! [`SchedulabilityTest::is_schedulable`]: crate::SchedulabilityTest::is_schedulable
+//! [`SchedulabilityTest::admission_state_in`]: crate::SchedulabilityTest::admission_state_in
+
+use crate::amc::{AmcScratch, CandStream, HcSlot};
+use crate::dbf::VdTask;
+use crate::vdtune::Move;
+use mcsched_model::Task;
+use std::cell::{RefCell, RefMut};
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// Scratch buffers shared by the analysis hot paths.
+///
+/// Obtain one through [`AnalysisWorkspace::with`] (thread-local pool) or
+/// behind a [`WorkspaceRef`]; the buffers grow to the high-water mark of
+/// the sets analysed through them and are then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct AnalysisWorkspace {
+    /// Priority-order indices (deadline-monotonic order, Audsley's
+    /// unassigned set).
+    pub(crate) idx: Vec<usize>,
+    /// Secondary index buffer (Audsley's lowest-priority-first order).
+    pub(crate) idx2: Vec<usize>,
+    /// Union buffer for `committed ∪ {candidate}` workspaces.
+    pub(crate) tasks: Vec<Task>,
+    /// Per-interferer step streams for the AMC-max candidate walk.
+    pub(crate) streams: Vec<CandStream>,
+    /// Per-hp-HC-task interference slots for the AMC-max candidate walk.
+    pub(crate) hc: Vec<HcSlot>,
+    /// The one-shot AMC analysis (order / responses) — the workspace path
+    /// runs exactly the incremental layer's `analyze_into` over it.
+    pub(crate) amc: AmcScratch,
+    /// Virtual-deadline assignment under tuning (EY / ECDF).
+    pub(crate) vd: Vec<VdTask>,
+    /// HC-only subset scratch for the high-mode demand check (EY / ECDF).
+    pub(crate) vd_hc: Vec<VdTask>,
+    /// Candidate tightening moves of one greedy round (EY / ECDF).
+    pub(crate) moves: Vec<Move>,
+}
+
+impl AnalysisWorkspace {
+    /// A workspace with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a workspace borrowed from the thread-local pool.
+    ///
+    /// Re-entrant: a nested call simply checks out a second workspace.
+    pub fn with<R>(f: impl FnOnce(&mut AnalysisWorkspace) -> R) -> R {
+        let guard = WorkspaceRef::pooled();
+        let r = f(&mut guard.borrow_mut());
+        r
+    }
+}
+
+/// A shared, cheaply cloneable handle to an [`AnalysisWorkspace`].
+///
+/// All admission states of one partitioning run hold clones of the same
+/// handle and borrow it only for the duration of a single admission query,
+/// so the borrows never overlap.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceRef {
+    inner: Rc<RefCell<AnalysisWorkspace>>,
+}
+
+impl WorkspaceRef {
+    /// A fresh workspace handle with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a handle out of the thread-local pool (creating one if the
+    /// pool is empty). The guard returns it when dropped, so buffers warm
+    /// up once per thread and stay warm across partitioning runs.
+    pub fn pooled() -> PooledWorkspace {
+        let ws = POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        PooledWorkspace { ws: Some(ws) }
+    }
+
+    /// Mutably borrows the underlying workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is already borrowed (analysis code keeps
+    /// borrows local to one admission query, so this cannot happen through
+    /// the public API).
+    pub fn borrow_mut(&self) -> RefMut<'_, AnalysisWorkspace> {
+        self.inner.borrow_mut()
+    }
+}
+
+thread_local! {
+    /// Idle workspaces of this thread, reused across partitioning runs.
+    static POOL: RefCell<Vec<WorkspaceRef>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Ceiling on pooled workspaces per thread; checkouts beyond this are
+/// simply dropped on return instead of growing the pool without bound.
+const MAX_POOLED: usize = 32;
+
+/// A [`WorkspaceRef`] checked out of the thread-local pool; returns to the
+/// pool on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace {
+    ws: Option<WorkspaceRef>,
+}
+
+impl Deref for PooledWorkspace {
+    type Target = WorkspaceRef;
+    fn deref(&self) -> &WorkspaceRef {
+        self.ws.as_ref().expect("present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            POOL.with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < MAX_POOLED {
+                    pool.push(ws);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_reuses_thread_local_buffers() {
+        // Grow a buffer inside one `with` scope…
+        AnalysisWorkspace::with(|ws| {
+            ws.idx.clear();
+            ws.idx.extend(0..100);
+        });
+        // …and observe the capacity surviving into the next checkout.
+        AnalysisWorkspace::with(|ws| {
+            assert!(ws.idx.capacity() >= 100);
+        });
+    }
+
+    #[test]
+    fn nested_with_is_reentrant() {
+        AnalysisWorkspace::with(|outer| {
+            outer.idx.push(7);
+            AnalysisWorkspace::with(|inner| {
+                // A distinct workspace: pushing here cannot alias `outer`.
+                inner.idx.push(9);
+            });
+            assert_eq!(outer.idx.pop(), Some(7));
+            outer.idx.clear();
+        });
+    }
+
+    #[test]
+    fn workspace_ref_clones_share_buffers() {
+        let a = WorkspaceRef::new();
+        let b = a.clone();
+        a.borrow_mut().idx.push(3);
+        assert_eq!(b.borrow_mut().idx.pop(), Some(3));
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let guards: Vec<_> = (0..MAX_POOLED + 8)
+            .map(|_| WorkspaceRef::pooled())
+            .collect();
+        drop(guards);
+        let pooled = POOL.with(|pool| pool.borrow().len());
+        assert!(pooled <= MAX_POOLED);
+    }
+}

@@ -8,16 +8,21 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, OneShot, SchedulabilityTest};
 use mcsched_bench::{fixture_sets, midload_point};
-use mcsched_core::{presets, Partition};
+use mcsched_core::{presets, Partition, WorkspaceRef};
 use mcsched_gen::DeadlineModel;
 use mcsched_model::TaskSet;
 
 const M: usize = 8;
 
-fn accepted(test: &dyn SchedulabilityTest, sets: &[TaskSet]) -> usize {
+/// Builds through the workspace-threaded entry point with one reused
+/// workspace, exactly as the experiment engine's per-worker evaluators
+/// drive partitioning.
+fn accepted(test: &dyn SchedulabilityTest, sets: &[TaskSet], ws: &WorkspaceRef) -> usize {
     sets.iter()
         .filter(|ts| {
-            Partition::build(&presets::cu_udp(), test, std::hint::black_box(ts), M).is_ok()
+            Partition::build_reporting_in(&presets::cu_udp(), test, std::hint::black_box(ts), M, ws)
+                .0
+                .is_ok()
         })
         .count()
 }
@@ -29,19 +34,29 @@ fn bench_pair(
     one_shot: &dyn SchedulabilityTest,
     sets: &[TaskSet],
 ) {
-    // The two paths must agree set-by-set (the equivalence guarantee).
+    // The two paths must agree set-by-set (the equivalence guarantee),
+    // with and without a shared workspace.
+    let ws = WorkspaceRef::new();
     for ts in sets {
+        let fast = Partition::build_reporting_in(&presets::cu_udp(), incremental, ts, M, &ws).0;
         assert_eq!(
-            Partition::build(&presets::cu_udp(), incremental, ts, M),
+            fast,
             Partition::build(&presets::cu_udp(), one_shot, ts, M),
             "{name}: incremental/one-shot divergence"
         );
+        assert_eq!(
+            fast,
+            Partition::build(&presets::cu_udp(), incremental, ts, M),
+            "{name}: workspace/pooled divergence"
+        );
     }
     group.bench_with_input(BenchmarkId::new(name, "incremental"), sets, |b, sets| {
-        b.iter(|| accepted(incremental, sets))
+        let ws = WorkspaceRef::new();
+        b.iter(|| accepted(incremental, sets, &ws))
     });
     group.bench_with_input(BenchmarkId::new(name, "one-shot"), sets, |b, sets| {
-        b.iter(|| accepted(one_shot, sets))
+        let ws = WorkspaceRef::new();
+        b.iter(|| accepted(one_shot, sets, &ws))
     });
 }
 

@@ -1,10 +1,24 @@
 //! Micro-benchmarks of the uniprocessor schedulability tests on
 //! generator-shaped task sets (the inner loop of every sweep).
+//!
+//! Two layers:
+//!
+//! * `uniprocessor_tests` — every test through its public
+//!   `is_schedulable` entry point (which now draws scratch from the
+//!   thread-local workspace pool);
+//! * `amcmax_streaming` — AMC-max on large sets (n ≥ 20 tasks, the
+//!   acceptance criterion of the zero-allocation milestone): the retained
+//!   seed implementation (materialise + sort + dedup candidates, per-call
+//!   vectors) vs the streaming workspace path, verdicts asserted
+//!   bit-identical before any measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, SchedulabilityTest};
-use mcsched_bench::{fixture_sets, midload_point};
-use mcsched_gen::DeadlineModel;
+use mcsched_analysis::amc::reference;
+use mcsched_analysis::{AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest};
+use mcsched_bench::{fixture_sets, midload_point, BENCH_SEED};
+use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
+use mcsched_model::TaskSet;
+use rand::{rngs::StdRng, SeedableRng};
 
 fn bench_tests(c: &mut Criterion) {
     let sets = fixture_sets(1, midload_point(), DeadlineModel::Implicit, 32);
@@ -37,5 +51,71 @@ fn bench_tests(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tests);
+/// Generator-shaped sets with at least 20 tasks at **uniprocessor** load
+/// (the shape AMC-max sees inside the partitioning inner loop — an
+/// `m`-processor fixture would trip the structural overload rejection and
+/// measure only the fast-reject path).
+///
+/// The load point is well below `midload_point()`: with 20–40 tasks on
+/// one processor, DM + AMC-max saturates early, and at mid load nearly
+/// every set dies in the (shared) low-mode RTA before any candidate walk
+/// runs. At this point roughly half the sets are schedulable, so the
+/// enumeration over every HC task — the cost the streaming walk attacks —
+/// dominates the measurement.
+fn large_sets() -> Vec<TaskSet> {
+    let point = GridPoint {
+        u_hh: 0.3,
+        u_hl: 0.15,
+        u_ll: 0.2,
+    };
+    let mut spec = TaskSetSpec::paper_defaults(1, point, DeadlineModel::Implicit);
+    spec.n_min = 20;
+    spec.n_max = 40;
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let mut sets = Vec::new();
+    let mut guard = 0;
+    while sets.len() < 24 && guard < 600 {
+        guard += 1;
+        if let Ok(ts) = spec.generate(&mut rng) {
+            sets.push(ts);
+        }
+    }
+    assert!(sets.len() >= 16, "only {} sets with n >= 20", sets.len());
+    assert!(sets.iter().all(|ts| ts.len() >= 20));
+    sets
+}
+
+fn bench_amcmax_streaming(c: &mut Criterion) {
+    let sets = large_sets();
+    // The two paths must agree set-by-set before anything is timed.
+    let mut ws = AnalysisWorkspace::new();
+    let test = AmcMax::new();
+    for ts in &sets {
+        assert_eq!(
+            test.is_schedulable_in(ts, &mut ws),
+            reference::amc_max_is_schedulable(ts),
+            "streaming/seed divergence on an n={} set",
+            ts.len()
+        );
+    }
+    let mut group = c.benchmark_group("amcmax_streaming");
+    group.bench_with_input(BenchmarkId::new("n20", "reference"), &sets, |b, sets| {
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| reference::amc_max_is_schedulable(std::hint::black_box(ts)))
+                .count()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("n20", "workspace"), &sets, |b, sets| {
+        let mut ws = AnalysisWorkspace::new();
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests, bench_amcmax_streaming);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use crate::partition::{Partition, PartitionError};
 use crate::strategy::PartitionStrategy;
-use mcsched_analysis::{AdmissionStats, SchedulabilityTest};
+use mcsched_analysis::{AdmissionStats, SchedulabilityTest, WorkspaceRef};
 use mcsched_model::TaskSet;
 use std::fmt;
 
@@ -34,9 +34,32 @@ pub trait MultiprocessorTest {
         (self.try_partition(ts, m), AdmissionStats::default())
     }
 
+    /// As
+    /// [`try_partition_reporting`](MultiprocessorTest::try_partition_reporting),
+    /// running the build's analysis in the caller's workspace — the
+    /// experiment engine hands every worker thread one [`WorkspaceRef`] so
+    /// batch evaluation reuses scratch buffers across items. Results are
+    /// identical (the workspace is scratch only); the default ignores
+    /// `ws`, so foreign implementations are unaffected.
+    fn try_partition_reporting_in(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &WorkspaceRef,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        let _ = ws;
+        self.try_partition_reporting(ts, m)
+    }
+
     /// `true` if the algorithm schedules the set on `m` processors.
     fn accepts(&self, ts: &TaskSet, m: usize) -> bool {
         self.try_partition(ts, m).is_ok()
+    }
+
+    /// As [`accepts`](MultiprocessorTest::accepts), in the caller's
+    /// workspace.
+    fn accepts_in(&self, ts: &TaskSet, m: usize, ws: &WorkspaceRef) -> bool {
+        self.try_partition_reporting_in(ts, m, ws).0.is_ok()
     }
 }
 
@@ -116,6 +139,18 @@ impl<T: SchedulabilityTest> PartitionedAlgorithm<T> {
     ) -> (Result<Partition, PartitionError>, AdmissionStats) {
         Partition::build_reporting(&self.strategy, &self.test, ts, m)
     }
+
+    /// As [`partition_reporting`](PartitionedAlgorithm::partition_reporting),
+    /// sharing the caller's analysis workspace across the build's
+    /// admission states (see [`Partition::build_reporting_in`]).
+    pub fn partition_reporting_in(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &WorkspaceRef,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        Partition::build_reporting_in(&self.strategy, &self.test, ts, m, ws)
+    }
 }
 
 impl<T: SchedulabilityTest> MultiprocessorTest for PartitionedAlgorithm<T> {
@@ -133,6 +168,15 @@ impl<T: SchedulabilityTest> MultiprocessorTest for PartitionedAlgorithm<T> {
         m: usize,
     ) -> (Result<Partition, PartitionError>, AdmissionStats) {
         self.partition_reporting(ts, m)
+    }
+
+    fn try_partition_reporting_in(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &WorkspaceRef,
+    ) -> (Result<Partition, PartitionError>, AdmissionStats) {
+        self.partition_reporting_in(ts, m, ws)
     }
 }
 

@@ -54,5 +54,9 @@ pub use registry::{AlgoBox, AlgorithmRegistry, AlgorithmSpec, RegistryError, Tes
 pub use strategy::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy, StrategyBuilder};
 
 // The admission layer the partitioner is built on (see
-// `mcsched_analysis::incremental`), re-exported for downstream reporting.
-pub use mcsched_analysis::{AdmissionState, AdmissionStats, IncrementalTest, OneShot};
+// `mcsched_analysis::incremental`), re-exported for downstream reporting,
+// together with the analysis workspace the partitioner threads through
+// the per-processor states (see `mcsched_analysis::workspace`).
+pub use mcsched_analysis::{
+    AdmissionState, AdmissionStats, AnalysisWorkspace, IncrementalTest, OneShot, WorkspaceRef,
+};

@@ -2,7 +2,7 @@
 //! resulting [`Partition`].
 
 use crate::strategy::PartitionStrategy;
-use mcsched_analysis::{AdmissionState, AdmissionStats, SchedulabilityTest};
+use mcsched_analysis::{AdmissionState, AdmissionStats, SchedulabilityTest, WorkspaceRef};
 use mcsched_model::{SystemUtilization, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -104,14 +104,36 @@ impl Partition {
     /// As [`Partition::build`], also returning the aggregated
     /// [`AdmissionStats`] of the run (attempts, admits, incremental vs
     /// full re-analyses) — surfaced by `mcsched-exp --ablation`.
+    ///
+    /// Analysis scratch comes from the thread-local workspace pool, so
+    /// repeated builds on one thread reuse the same buffers; callers that
+    /// manage their own workspace (the experiment engine's per-worker
+    /// evaluators) use [`Partition::build_reporting_in`] directly.
     pub fn build_reporting(
         strategy: &PartitionStrategy,
         test: &dyn SchedulabilityTest,
         ts: &TaskSet,
         m: usize,
     ) -> (Result<Self, PartitionError>, AdmissionStats) {
+        let ws = WorkspaceRef::pooled();
+        Self::build_reporting_in(strategy, test, ts, m, &ws)
+    }
+
+    /// As [`Partition::build_reporting`], with every per-processor
+    /// admission state sharing the caller's analysis workspace: the `m`
+    /// states of the build borrow `ws`'s scratch buffers one admission
+    /// query at a time, so the whole inner loop runs allocation-free once
+    /// the buffers are warm. The resulting partition is identical — the
+    /// workspace holds scratch only.
+    pub fn build_reporting_in(
+        strategy: &PartitionStrategy,
+        test: &dyn SchedulabilityTest,
+        ts: &TaskSet,
+        m: usize,
+        ws: &WorkspaceRef,
+    ) -> (Result<Self, PartitionError>, AdmissionStats) {
         let mut states: Vec<Box<dyn AdmissionState + '_>> =
-            (0..m).map(|_| test.admission_state()).collect();
+            (0..m).map(|_| test.admission_state_in(ws)).collect();
         let total_stats = |states: &[Box<dyn AdmissionState + '_>]| {
             let mut total = AdmissionStats::default();
             for s in states {
@@ -121,12 +143,13 @@ impl Partition {
         };
         let sequence = strategy.order().sequence(ts);
         let mut summaries: Vec<SystemUtilization> = vec![SystemUtilization::default(); m];
+        let mut order: Vec<usize> = Vec::with_capacity(m);
         for (placed, task) in sequence.iter().enumerate() {
-            let order = strategy
+            strategy
                 .fit_for(task)
-                .processor_order_by_summary(&summaries);
+                .processor_order_by_summary_into(&summaries, &mut order);
             let mut assigned = false;
-            for k in order {
+            for &k in &order {
                 if states[k].try_admit(task) {
                     states[k].commit(*task);
                     summaries[k] = states[k].summary();

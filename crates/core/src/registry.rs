@@ -170,6 +170,14 @@ impl AlgorithmSpec {
     }
 
     /// Instantiates the runnable algorithm described by this spec.
+    ///
+    /// The box is a [`PartitionedAlgorithm`], so it answers through the
+    /// workspace-aware entry points
+    /// ([`MultiprocessorTest::try_partition_reporting_in`] /
+    /// [`MultiprocessorTest::accepts_in`]) with real scratch reuse —
+    /// batch harnesses hand each worker one
+    /// [`WorkspaceRef`](mcsched_analysis::WorkspaceRef) and judge every
+    /// item through it.
     pub fn build(&self) -> AlgoBox {
         let name = self.name();
         let strategy = self.strategy.clone();
@@ -527,7 +535,26 @@ fn fit_from_value(v: &Value) -> Result<FitRule, RegistryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcsched_analysis::WorkspaceRef;
     use mcsched_model::{Task, TaskSet};
+
+    #[test]
+    fn registry_boxes_are_workspace_aware() {
+        // Every registered algorithm must answer identically through the
+        // plain and the workspace-threaded entry points — one shared
+        // workspace across the whole lineup, as a batch worker would use.
+        let registry = AlgorithmRegistry::standard();
+        let ts = small_set();
+        let ws = WorkspaceRef::new();
+        for name in registry.algorithm_names() {
+            let algo = registry.parse(&name).unwrap();
+            let (plain, plain_stats) = algo.try_partition_reporting(&ts, 2);
+            let (in_ws, ws_stats) = algo.try_partition_reporting_in(&ts, 2, &ws);
+            assert_eq!(plain, in_ws, "{name} diverged under a shared workspace");
+            assert_eq!(plain_stats, ws_stats, "{name} stats diverged");
+            assert_eq!(algo.accepts(&ts, 2), algo.accepts_in(&ts, 2, &ws), "{name}");
+        }
+    }
 
     fn small_set() -> TaskSet {
         TaskSet::try_from_tasks(vec![

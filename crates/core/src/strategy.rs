@@ -146,25 +146,45 @@ impl FitRule {
     /// As [`FitRule::processor_order`], over precomputed utilization
     /// triples (the cached summaries of the incremental admission states).
     pub fn processor_order_by_summary(&self, summaries: &[SystemUtilization]) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..summaries.len()).collect();
+        let mut idx = Vec::new();
+        self.processor_order_by_summary_into(summaries, &mut idx);
+        idx
+    }
+
+    /// As [`FitRule::processor_order_by_summary`], into a caller-supplied
+    /// buffer (cleared first) — the partitioning inner loop reuses one
+    /// across tasks so fit ordering allocates nothing. The metric is a
+    /// pure function of the summary, so evaluating it inside the
+    /// comparator yields exactly the order of the precomputed-keys path.
+    pub fn processor_order_by_summary_into(
+        &self,
+        summaries: &[SystemUtilization],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(0..summaries.len());
+        // The index tiebreak makes both comparators total orders, so the
+        // unstable sort (no temp-buffer allocation) orders identically to
+        // the seed's stable sort.
         match self {
             FitRule::FirstFit => {}
             FitRule::WorstFit(metric) => {
-                let keys: Vec<f64> = summaries
-                    .iter()
-                    .map(|u| metric.evaluate_summary(u))
-                    .collect();
-                idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then_with(|| a.cmp(&b)));
+                out.sort_unstable_by(|&a, &b| {
+                    metric
+                        .evaluate_summary(&summaries[a])
+                        .total_cmp(&metric.evaluate_summary(&summaries[b]))
+                        .then_with(|| a.cmp(&b))
+                });
             }
             FitRule::BestFit(metric) => {
-                let keys: Vec<f64> = summaries
-                    .iter()
-                    .map(|u| metric.evaluate_summary(u))
-                    .collect();
-                idx.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]).then_with(|| a.cmp(&b)));
+                out.sort_unstable_by(|&a, &b| {
+                    metric
+                        .evaluate_summary(&summaries[b])
+                        .total_cmp(&metric.evaluate_summary(&summaries[a]))
+                        .then_with(|| a.cmp(&b))
+                });
             }
         }
-        idx
     }
 }
 

@@ -1,0 +1,262 @@
+//! Analysis-level throughput measurement: the `BENCH_analysis.json`
+//! artifact CI uploads to track the *uniprocessor test* hot path (the
+//! layer below `BENCH_partition.json`'s whole-partitioning trajectory).
+//!
+//! For each of the five tests and each processor count, a seeded corpus
+//! is judged twice:
+//!
+//! * **reference** — the retained seed implementation: per-call
+//!   allocating vectors, and for AMC-max the materialise + sort + dedup
+//!   candidate enumeration ([`mcsched_analysis::amc::reference`]);
+//! * **workspace** — the hot path:
+//!   [`SchedulabilityTest::is_schedulable_in`] over one reused
+//!   [`AnalysisWorkspace`], streaming AMC-max candidates.
+//!
+//! Every verdict pair is **asserted equal** before it counts — a
+//! divergence panics, which is exactly what the `perf-analysis` CI job
+//! promotes into a failure.
+
+use mcsched_analysis::{
+    amc::reference, vdtune::reference as vd_reference, AmcMax, AmcRtb, AnalysisWorkspace, Ecdf,
+    EdfVd, Ey, SchedulabilityTest,
+};
+use mcsched_gen::{utilization_grid, DeadlineModel, TaskSetSpec};
+use mcsched_model::TaskSet;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// A deterministic corpus of **uniprocessor-load** task sets with the
+/// task-count range of an `m`-processor workload (`n ∈ [m+1, 5m]`).
+///
+/// This is the shape the uniprocessor tests actually see inside the
+/// partitioning inner loop: one processor's share of the load, but drawn
+/// from systems whose task counts grow with `m`. (The partition-level
+/// corpus of [`crate::perf::seeded_corpus`] keeps the full `m`-processor
+/// utilization and would trip every test's O(1) structural overload
+/// rejection, measuring nothing but the fast path.) `UB ∈ [0.5, 0.9]`
+/// keeps verdicts mixed and fixpoints non-trivial.
+pub fn uniprocessor_corpus(m: usize, count: usize, seed: u64) -> Vec<TaskSet> {
+    let points: Vec<_> = utilization_grid()
+        .into_iter()
+        .filter(|p| (0.5..=0.9).contains(&p.ub()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 40 {
+        guard += 1;
+        let point = points[rng.random_range(0..points.len())];
+        let mut spec = TaskSetSpec::paper_defaults(1, point, DeadlineModel::Implicit);
+        spec.n_min = m + 1;
+        spec.n_max = 5 * m;
+        if let Ok(ts) = spec.generate(&mut rng) {
+            out.push(ts);
+        }
+    }
+    out
+}
+
+/// One `(test, m)` cell of the throughput report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisPerfRow {
+    /// Uniprocessor test name.
+    pub test: String,
+    /// Processor count the corpus was generated for (larger `m` ⇒ more
+    /// tasks per set: the paper draws `n ∈ [m+1, 5m]`).
+    pub m: usize,
+    /// Task sets judged.
+    pub sets: usize,
+    /// Total tasks across the corpus.
+    pub tasks: usize,
+    /// Sets the test accepted (identical on both paths — asserted).
+    pub accepted: usize,
+    /// Wall-clock for the reference (seed) pass, in milliseconds.
+    pub reference_ms: f64,
+    /// Wall-clock for the workspace (hot) pass, in milliseconds.
+    pub workspace_ms: f64,
+    /// `reference_ms / workspace_ms`.
+    pub speedup: f64,
+}
+
+/// The full analysis-throughput report (serialized to
+/// `BENCH_analysis.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisPerfReport {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Sets per `(test, m)` cell.
+    pub sets_per_cell: usize,
+    /// One row per `(test, m)`.
+    pub rows: Vec<AnalysisPerfRow>,
+}
+
+/// The reference (seed) verdict for one test — the allocating
+/// implementations the workspace layer replaced, retained verbatim in
+/// `amc::reference` / `vdtune::reference` for exactly this comparison.
+/// (EDF-VD's closed form never allocated; its row doubles as a noise
+/// baseline.)
+fn reference_verdict(test: &TestCase, ts: &TaskSet) -> bool {
+    match test {
+        TestCase::EdfVd(t) => t.is_schedulable(ts),
+        TestCase::Ey(_) => vd_reference::ey_is_schedulable(ts),
+        TestCase::Ecdf(_) => vd_reference::ecdf_is_schedulable(ts),
+        TestCase::AmcRtb(_) => reference::amc_rtb_is_schedulable(ts),
+        TestCase::AmcMax(_) => reference::amc_max_is_schedulable(ts),
+    }
+}
+
+/// The five measured tests (EDF-VD has no allocating/seed split — its
+/// closed form never allocated — so its row doubles as a baseline).
+enum TestCase {
+    /// Closed-form utilization test.
+    EdfVd(EdfVd),
+    /// Greedy virtual-deadline tuner.
+    Ey(Ey),
+    /// Multi-start virtual-deadline tuner.
+    Ecdf(Ecdf),
+    /// Response-time bound RTA.
+    AmcRtb(AmcRtb),
+    /// Switch-instant enumerating RTA.
+    AmcMax(AmcMax),
+}
+
+impl TestCase {
+    fn all() -> Vec<TestCase> {
+        vec![
+            TestCase::EdfVd(EdfVd::new()),
+            TestCase::Ey(Ey::new()),
+            TestCase::Ecdf(Ecdf::new()),
+            TestCase::AmcRtb(AmcRtb::new()),
+            TestCase::AmcMax(AmcMax::new()),
+        ]
+    }
+
+    fn as_test(&self) -> &dyn SchedulabilityTest {
+        match self {
+            TestCase::EdfVd(t) => t,
+            TestCase::Ey(t) => t,
+            TestCase::Ecdf(t) => t,
+            TestCase::AmcRtb(t) => t,
+            TestCase::AmcMax(t) => t,
+        }
+    }
+}
+
+/// Measures every test over seeded corpora for each `m`, asserting the
+/// workspace verdicts bit-identical to the reference pass.
+///
+/// # Panics
+///
+/// Panics if any workspace verdict diverges from its reference verdict —
+/// the equivalence assertion the `perf-analysis` CI job relies on.
+pub fn analysis_throughput(m_values: &[usize], sets: usize, seed: u64) -> AnalysisPerfReport {
+    let mut rows = Vec::new();
+    for &m in m_values {
+        let corpus = uniprocessor_corpus(m, sets, seed);
+        let tasks: usize = corpus.iter().map(TaskSet::len).sum();
+        for case in TestCase::all() {
+            let test = case.as_test();
+
+            // Reference pass (allocating seed implementations).
+            let start = Instant::now();
+            let ref_verdicts: Vec<bool> = corpus
+                .iter()
+                .map(|ts| reference_verdict(&case, ts))
+                .collect();
+            let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            // Workspace pass: one reused workspace, as a sweep worker runs.
+            let mut ws = AnalysisWorkspace::new();
+            let start = Instant::now();
+            let ws_verdicts: Vec<bool> = corpus
+                .iter()
+                .map(|ts| test.is_schedulable_in(ts, &mut ws))
+                .collect();
+            let workspace_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(
+                ref_verdicts,
+                ws_verdicts,
+                "{} workspace verdicts diverged from the seed reference (m={m})",
+                test.name()
+            );
+            rows.push(AnalysisPerfRow {
+                test: test.name().to_owned(),
+                m,
+                sets: corpus.len(),
+                tasks,
+                accepted: ws_verdicts.iter().filter(|&&ok| ok).count(),
+                reference_ms,
+                workspace_ms,
+                speedup: if workspace_ms > 0.0 {
+                    reference_ms / workspace_ms
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+    }
+    AnalysisPerfReport {
+        seed,
+        sets_per_cell: sets,
+        rows,
+    }
+}
+
+/// Writes the report as pretty-printed JSON.
+pub fn write_analysis_json(report: &AnalysisPerfReport, path: &Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
+/// Renders the report as a markdown table.
+pub fn render_analysis_perf(report: &AnalysisPerfReport) -> String {
+    let mut out = String::from(
+        "| test | m | sets | tasks | accepted | reference ms | workspace ms | speedup |\n\
+         |----|----|----|----|----|----|----|----|\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.2}x |\n",
+            r.test, r.m, r.sets, r.tasks, r.accepted, r.reference_ms, r.workspace_ms, r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_equivalence() {
+        // Small corpus; the equivalence assertions inside must hold.
+        let report = analysis_throughput(&[2], 6, 11);
+        assert_eq!(report.rows.len(), 5);
+        for r in &report.rows {
+            assert_eq!(r.sets, 6);
+            assert!(r.accepted <= r.sets);
+            assert!(r.tasks >= r.sets);
+            assert!(r.speedup > 0.0);
+        }
+        let table = render_analysis_perf(&report);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("AMC-max"));
+    }
+
+    #[test]
+    fn json_written_to_disk() {
+        let report = analysis_throughput(&[2], 2, 5);
+        let dir = std::env::temp_dir().join("mcsched_analysis_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_analysis.json");
+        write_analysis_json(&report, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("workspace_ms"));
+        assert!(text.contains("\"rows\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -58,7 +58,9 @@
 //! impl Evaluator for CoinFlip {
 //!     type Output = bool;
 //!     type Acc = Heads;
-//!     fn evaluate(&self, _index: usize, rng: &mut StdRng) -> Option<bool> {
+//!     type Ctx = ();
+//!     fn context(&self) {}
+//!     fn evaluate(&self, _index: usize, rng: &mut StdRng, _ctx: &mut ()) -> Option<bool> {
 //!         Some(rng.random_range(0..2) == 1)
 //!     }
 //!     fn accumulator(&self) -> Heads {
@@ -153,11 +155,24 @@ pub trait Evaluator: Sync {
     type Output: Send;
     /// The accumulator folding outputs into a summary.
     type Acc: Accumulator<Output = Self::Output> + Send;
+    /// Per-worker scratch carried across that worker's items — analysis
+    /// workspaces, reusable buffers. Created once per worker thread by
+    /// [`context`](Evaluator::context), never shared between workers, and
+    /// handed mutably to every [`evaluate`](Evaluator::evaluate) call, so
+    /// the steady-state batch loop allocates nothing per item. Use `()`
+    /// when the evaluator needs no scratch. Contexts must not influence
+    /// outputs (they are scratch): determinism in `(seed, threads)`
+    /// continues to hold regardless of how items map to workers.
+    type Ctx;
+
+    /// A fresh per-worker context.
+    fn context(&self) -> Self::Ctx;
 
     /// Evaluates one item. `rng` is private to the item ([`item_rng`]);
-    /// return `None` to skip an infeasible item (skipped items are simply
-    /// never absorbed).
-    fn evaluate(&self, index: usize, rng: &mut StdRng) -> Option<Self::Output>;
+    /// `ctx` is the calling worker's scratch; return `None` to skip an
+    /// infeasible item (skipped items are simply never absorbed).
+    fn evaluate(&self, index: usize, rng: &mut StdRng, ctx: &mut Self::Ctx)
+        -> Option<Self::Output>;
 
     /// A fresh, empty accumulator.
     fn accumulator(&self) -> Self::Acc;
@@ -171,9 +186,10 @@ pub fn run_batch<E: Evaluator>(batch: &Batch, evaluator: &E) -> E::Acc {
     let threads = batch.threads.max(1).min(batch.items.max(1));
     if threads == 1 {
         let mut acc = evaluator.accumulator();
+        let mut ctx = evaluator.context();
         for index in 0..batch.items {
             let mut rng = item_rng(batch.seed, batch.stream, index);
-            if let Some(out) = evaluator.evaluate(index, &mut rng) {
+            if let Some(out) = evaluator.evaluate(index, &mut rng, &mut ctx) {
                 acc.absorb(out);
             }
         }
@@ -185,9 +201,11 @@ pub fn run_batch<E: Evaluator>(batch: &Batch, evaluator: &E) -> E::Acc {
         for (worker, slot) in worker_accs.iter_mut().enumerate() {
             scope.spawn(move || {
                 let mut acc = evaluator.accumulator();
+                // The worker's private scratch, reused across its items.
+                let mut ctx = evaluator.context();
                 for index in (worker..batch.items).step_by(threads) {
                     let mut rng = item_rng(batch.seed, batch.stream, index);
-                    if let Some(out) = evaluator.evaluate(index, &mut rng) {
+                    if let Some(out) = evaluator.evaluate(index, &mut rng, &mut ctx) {
                         acc.absorb(out);
                     }
                 }
@@ -266,7 +284,9 @@ mod tests {
     impl Evaluator for DrawSum {
         type Output = u64;
         type Acc = Sum;
-        fn evaluate(&self, index: usize, rng: &mut StdRng) -> Option<u64> {
+        type Ctx = ();
+        fn context(&self) {}
+        fn evaluate(&self, index: usize, rng: &mut StdRng, _ctx: &mut ()) -> Option<u64> {
             let draw = rng.random_range(0..1000u64);
             (index % 3 != 2).then_some(draw)
         }
@@ -317,7 +337,14 @@ mod tests {
         impl Evaluator for Echo {
             type Output = (usize, usize);
             type Acc = Collect<usize>;
-            fn evaluate(&self, index: usize, _rng: &mut StdRng) -> Option<(usize, usize)> {
+            type Ctx = ();
+            fn context(&self) {}
+            fn evaluate(
+                &self,
+                index: usize,
+                _rng: &mut StdRng,
+                _ctx: &mut (),
+            ) -> Option<(usize, usize)> {
                 Some((index, index * 10))
             }
             fn accumulator(&self) -> Collect<usize> {

@@ -10,7 +10,7 @@
 
 use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
 use mcsched_analysis::EdfVd;
-use mcsched_core::{presets, PartitionedAlgorithm};
+use mcsched_core::{presets, PartitionedAlgorithm, WorkspaceRef};
 use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
 use mcsched_model::{Criticality, TaskSet};
 use mcsched_sim::{GlobalSimulator, PartitionedSimulator, Policy, Scenario, TraceEvent};
@@ -110,14 +110,25 @@ struct IsolationEvaluator {
 impl Evaluator for IsolationEvaluator {
     type Output = IsolationSample;
     type Acc = IsolationTotals;
+    /// Analysis scratch for the partitioning retries of this worker.
+    type Ctx = WorkspaceRef;
 
-    fn evaluate(&self, index: usize, rng: &mut StdRng) -> Option<IsolationSample> {
+    fn context(&self) -> WorkspaceRef {
+        WorkspaceRef::new()
+    }
+
+    fn evaluate(
+        &self,
+        index: usize,
+        rng: &mut StdRng,
+        ws: &mut WorkspaceRef,
+    ) -> Option<IsolationSample> {
         // Retry generation/partitioning inside the item's own RNG stream;
         // infeasible draws at this mid-load grid point are rare.
         let (ts, partition) = (0..30).find_map(|_| {
             let spec = TaskSetSpec::paper_defaults(self.m, self.point, DeadlineModel::Implicit);
             let ts = spec.generate(rng).ok()?;
-            let partition = self.algo.partition(&ts, self.m).ok()?;
+            let partition = self.algo.partition_reporting_in(&ts, self.m, ws).0.ok()?;
             Some((ts, partition))
         })?;
         let scenario =

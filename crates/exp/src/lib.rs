@@ -40,6 +40,7 @@
 
 pub mod ablation;
 pub mod algorithms;
+pub mod analysis_perf;
 pub mod engine;
 pub mod figures;
 pub mod headline;
@@ -50,6 +51,7 @@ pub mod service;
 pub mod sweep;
 
 pub use algorithms::{fig3_lineup, fig4_lineup, perf_lineup, AlgoBox};
+pub use analysis_perf::{analysis_throughput, AnalysisPerfReport, AnalysisPerfRow};
 pub use engine::{run_batch, Accumulator, Batch, Evaluator};
 pub use perf::{partition_throughput, PerfReport, PerfRow};
 pub use service::{handle_request_line, run_eval};

@@ -18,6 +18,7 @@ use mcsched_exp::ablation::{
     admission_profile, amc_ablation, render_ablation, render_admission, strategy_ablation,
 };
 use mcsched_exp::algorithms::perf_lineup;
+use mcsched_exp::analysis_perf::{analysis_throughput, render_analysis_perf, write_analysis_json};
 use mcsched_exp::figures::{
     fig3_panel, fig4_panel, fig5_panel, fig6a, fig6b, render_war_table, FIGURE_M,
 };
@@ -53,6 +54,7 @@ struct Args {
     isolation: bool,
     all: bool,
     perf_json: Option<PathBuf>,
+    analysis_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         isolation: false,
         all: false,
         perf_json: None,
+        analysis_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -110,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
             "--perf-json" => args.perf_json = Some(PathBuf::from(value(&mut i)?)),
+            "--analysis-json" => args.analysis_json = Some(PathBuf::from(value(&mut i)?)),
             "--headline" => args.headline = true,
             "--ablation" => args.ablation = true,
             "--isolation" => args.isolation = true,
@@ -129,6 +133,8 @@ const HELP: &str = r#"mcexp — regenerate the DATE 2017 UDP partitioning figure
 usage: mcexp [--fig 3|4|5|6a|6b] [--headline] [--ablation] [--isolation] [--all]
              [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
              [--perf-json FILE]   # partition-throughput artifact (BENCH_partition.json)
+             [--analysis-json FILE]  # per-test throughput artifact (BENCH_analysis.json),
+                                     # reference vs workspace, verdicts asserted identical
        mcexp eval [--input FILE] [--output FILE]
 
 eval mode: read JSONL schedulability requests (one JSON object per line,
@@ -303,6 +309,24 @@ fn main() {
         println!("\n## Partition throughput (m = {m})\n");
         println!("{}", render_perf(&report));
         match write_perf_json(&report, path) {
+            Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[mcexp] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.analysis_json {
+        did_something = true;
+        eprintln!(
+            "[mcexp] analysis throughput m={:?} sets={} ...",
+            args.m_values, args.sets
+        );
+        let report = analysis_throughput(&args.m_values, args.sets, args.seed);
+        println!("\n## Analysis throughput (reference vs workspace)\n");
+        println!("{}", render_analysis_perf(&report));
+        match write_analysis_json(&report, path) {
             Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
             Err(e) => {
                 eprintln!("[mcexp] failed to write {}: {e}", path.display());

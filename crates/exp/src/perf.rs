@@ -8,7 +8,7 @@
 
 use crate::algorithms::AlgoBox;
 use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
-use mcsched_core::AdmissionStats;
+use mcsched_core::{AdmissionStats, WorkspaceRef};
 use mcsched_gen::{utilization_grid, DeadlineModel, TaskSetSpec};
 use mcsched_model::TaskSet;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -118,15 +118,28 @@ struct ThroughputEvaluator<'a> {
 impl Evaluator for ThroughputEvaluator<'_> {
     type Output = Vec<Measure>;
     type Acc = PerfTotals;
+    /// The worker's analysis workspace — timed *inside* the measurement,
+    /// so the reported throughput reflects the real scratch-reusing
+    /// partitioning path.
+    type Ctx = WorkspaceRef;
 
-    fn evaluate(&self, index: usize, _rng: &mut StdRng) -> Option<Vec<Measure>> {
+    fn context(&self) -> WorkspaceRef {
+        WorkspaceRef::new()
+    }
+
+    fn evaluate(
+        &self,
+        index: usize,
+        _rng: &mut StdRng,
+        ws: &mut WorkspaceRef,
+    ) -> Option<Vec<Measure>> {
         let ts = &self.corpus[index];
         Some(
             self.algorithms
                 .iter()
                 .map(|algo| {
                     let start = Instant::now();
-                    let (result, stats) = algo.try_partition_reporting(ts, self.m);
+                    let (result, stats) = algo.try_partition_reporting_in(ts, self.m, ws);
                     Measure {
                         accepted: result.is_ok(),
                         stats,

@@ -7,6 +7,7 @@
 
 use crate::algorithms::AlgoBox;
 use crate::engine::{run_batch, Accumulator, Batch, Evaluator};
+use mcsched_core::WorkspaceRef;
 use mcsched_gen::{bucketed_grid, DeadlineModel, GridPoint, TaskSetSpec, UbBucket};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -202,13 +203,25 @@ struct BucketEvaluator<'a> {
 impl Evaluator for BucketEvaluator<'_> {
     type Output = Vec<bool>;
     type Acc = BucketAccepts;
+    /// One analysis workspace per worker: every schedulability judgement
+    /// of that worker's items reuses the same scratch buffers.
+    type Ctx = WorkspaceRef;
 
-    fn evaluate(&self, _index: usize, rng: &mut StdRng) -> Option<Vec<bool>> {
+    fn context(&self) -> WorkspaceRef {
+        WorkspaceRef::new()
+    }
+
+    fn evaluate(
+        &self,
+        _index: usize,
+        rng: &mut StdRng,
+        ws: &mut WorkspaceRef,
+    ) -> Option<Vec<bool>> {
         let ts = generate_in_bucket(self.config, self.points, rng)?;
         Some(
             self.algorithms
                 .iter()
-                .map(|a| a.accepts(&ts, self.config.m))
+                .map(|a| a.accepts_in(&ts, self.config.m, ws))
                 .collect(),
         )
     }

@@ -50,12 +50,23 @@ impl Accumulator for Counts {
 impl Evaluator for AcceptCount<'_> {
     type Output = Vec<bool>;
     type Acc = Counts;
-    fn evaluate(&self, _index: usize, rng: &mut StdRng) -> Option<Vec<bool>> {
+    // One analysis workspace per engine worker: the schedulability tests
+    // reuse its scratch buffers across every item the worker judges.
+    type Ctx = WorkspaceRef;
+    fn context(&self) -> WorkspaceRef {
+        WorkspaceRef::new()
+    }
+    fn evaluate(
+        &self,
+        _index: usize,
+        rng: &mut StdRng,
+        ws: &mut WorkspaceRef,
+    ) -> Option<Vec<bool>> {
         let ts = self.spec.generate(rng).ok()?;
         Some(
             self.algorithms
                 .iter()
-                .map(|a| a.accepts(&ts, self.m))
+                .map(|a| a.accepts_in(&ts, self.m, ws))
                 .collect(),
         )
     }

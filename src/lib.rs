@@ -92,7 +92,9 @@ pub use mcsched_sim as sim;
 /// assert_eq!(algo.name(), "CA-UDP-ECDF");
 /// ```
 pub mod prelude {
-    pub use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, SchedulabilityTest};
+    pub use mcsched_analysis::{
+        AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest, WorkspaceRef,
+    };
     pub use mcsched_core::{
         presets, AlgoBox, AlgorithmRegistry, AlgorithmSpec, AllocationOrder, BalanceMetric,
         FitRule, MultiprocessorTest, Partition, PartitionError, PartitionStrategy,

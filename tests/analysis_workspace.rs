@@ -1,0 +1,173 @@
+//! The workspace-backed analysis hot path must be **exactly** equivalent
+//! to the retained seed (allocating) implementations:
+//!
+//! * the streaming AMC-max candidate walk visits exactly the
+//!   sorted-deduplicated candidate set the seed path materialised, and
+//!   returns identical response bounds;
+//! * every test's `is_schedulable_in` (one reused workspace) agrees with
+//!   `is_schedulable` on every set;
+//! * both hold across unconstrained proptest sets *and* a deterministic
+//!   generator-shaped corpus.
+
+use mcsched::analysis::amc::reference;
+use mcsched::analysis::vdtune::reference as vd_reference;
+use mcsched::analysis::{AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest};
+use mcsched::gen::{DeadlineModel, GridPoint, TaskSetSpec};
+use mcsched::model::{Task, TaskSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arbitrary valid task: period 2..=60, budgets inside it, optional
+/// criticality/constrained deadline.
+fn arb_task(id: u32) -> impl Strategy<Value = Task> {
+    (2u64..=60, any::<bool>()).prop_flat_map(move |(period, is_hi)| {
+        (1u64..=period, Just(period), Just(is_hi)).prop_flat_map(move |(c_lo, period, is_hi)| {
+            if is_hi {
+                (c_lo..=period, Just(period), Just(c_lo))
+                    .prop_flat_map(move |(c_hi, period, c_lo)| {
+                        (c_hi..=period).prop_map(move |d| {
+                            Task::hi_constrained(id, period, c_lo, c_hi, d).expect("valid")
+                        })
+                    })
+                    .boxed()
+            } else {
+                (c_lo..=period)
+                    .prop_map(move |d| Task::lo_constrained(id, period, c_lo, d).expect("valid"))
+                    .boxed()
+            }
+        })
+    })
+}
+
+/// An arbitrary task set of 1..=10 tasks with distinct ids.
+fn arb_taskset() -> impl Strategy<Value = TaskSet> {
+    (1usize..=10).prop_flat_map(|n| {
+        let tasks: Vec<_> = (0..n as u32).map(arb_task).collect();
+        tasks.prop_map(|ts| TaskSet::try_from_tasks(ts).expect("distinct ids"))
+    })
+}
+
+/// Asserts the streaming walk ≡ the seed candidate enumeration for every
+/// task of the set, and the workspace verdicts ≡ the plain verdicts for
+/// all five tests. Returns the number of per-task comparisons.
+fn assert_workspace_equivalent(ts: &TaskSet, ws: &mut AnalysisWorkspace) -> usize {
+    let mut compared = 0;
+    for i in 0..ts.len() {
+        assert_eq!(
+            reference::amc_max_candidates_streamed(ts, i),
+            reference::amc_max_candidates(ts, i),
+            "candidate sets diverged for τ{i} of {ts}"
+        );
+        assert_eq!(
+            reference::amc_max_bound_streamed(ts, i),
+            reference::amc_max_bound(ts, i),
+            "response bounds diverged for τ{i} of {ts}"
+        );
+        compared += 1;
+    }
+    let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
+        Box::new(EdfVd::new()),
+        Box::new(Ey::new()),
+        Box::new(Ecdf::new()),
+        Box::new(AmcRtb::new()),
+        Box::new(AmcRtb::with_audsley()),
+        Box::new(AmcMax::new()),
+    ];
+    for test in &tests {
+        assert_eq!(
+            test.is_schedulable_in(ts, ws),
+            test.is_schedulable(ts),
+            "{} workspace verdict diverged on {ts}",
+            test.name()
+        );
+    }
+    assert_eq!(
+        AmcMax::new().is_schedulable(ts),
+        reference::amc_max_is_schedulable(ts),
+        "AMC-max verdict diverged from the seed implementation on {ts}"
+    );
+    assert_eq!(
+        AmcRtb::new().is_schedulable(ts),
+        reference::amc_rtb_is_schedulable(ts),
+        "AMC-rtb verdict diverged from the seed implementation on {ts}"
+    );
+    assert_eq!(
+        Ey::new().is_schedulable(ts),
+        vd_reference::ey_is_schedulable(ts),
+        "EY verdict diverged from the seed tuner on {ts}"
+    );
+    assert_eq!(
+        Ecdf::new().is_schedulable(ts),
+        vd_reference::ecdf_is_schedulable(ts),
+        "ECDF verdict diverged from the seed tuner on {ts}"
+    );
+    compared
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_walk_is_bit_identical(ts in arb_taskset()) {
+        let mut ws = AnalysisWorkspace::new();
+        assert_workspace_equivalent(&ts, &mut ws);
+    }
+}
+
+/// The deterministic generator-shaped corpus: every set of every workload
+/// compared through one long-lived workspace (buffer reuse across wildly
+/// different sets must never leak into a verdict).
+#[test]
+fn seeded_corpus_streaming_equivalence() {
+    let workloads = [
+        (2usize, DeadlineModel::Implicit, 0.55, 0.30, 0.35, 21u64),
+        (2, DeadlineModel::Constrained, 0.70, 0.35, 0.40, 22),
+        (4, DeadlineModel::Implicit, 0.80, 0.40, 0.45, 23),
+        (8, DeadlineModel::Constrained, 0.60, 0.25, 0.50, 24),
+    ];
+    let mut ws = AnalysisWorkspace::new();
+    let mut generated = 0usize;
+    let mut compared = 0usize;
+    for (m, deadlines, u_hh, u_hl, u_ll, seed) in workloads {
+        let spec = TaskSetSpec::paper_defaults(m, GridPoint { u_hh, u_hl, u_ll }, deadlines);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut made = 0usize;
+        let mut guard = 0usize;
+        while made < 40 && guard < 1000 {
+            guard += 1;
+            let Ok(ts) = spec.generate(&mut rng) else {
+                continue;
+            };
+            made += 1;
+            compared += assert_workspace_equivalent(&ts, &mut ws);
+        }
+        assert_eq!(made, 40, "generator starved at m={m} {deadlines}");
+        generated += made;
+    }
+    assert!(generated >= 160, "corpus too small: {generated}");
+    assert!(compared >= 160, "comparisons too few: {compared}");
+}
+
+/// The overflow regression at workspace-integration level: a candidate
+/// step sequence that would overflow `u64` (the seed loop's `t += period`)
+/// must end the stream exactly, end to end through the public test.
+#[test]
+fn near_max_periods_run_end_to_end() {
+    let big = 1u64 << 63;
+    let ts = TaskSet::try_from_tasks(vec![
+        Task::hi_constrained(0, big + 2, 1, 1, big).unwrap(),
+        Task::hi_constrained(1, big + 100, big + 10, big + 10, big + 50).unwrap(),
+    ])
+    .unwrap();
+    let mut ws = AnalysisWorkspace::new();
+    assert!(AmcMax::new().is_schedulable_in(&ts, &mut ws));
+    assert!(AmcMax::new().is_schedulable(&ts));
+    // The admission layer sees the same instants.
+    let test = AmcMax::new();
+    let mut state = test.admission_state();
+    for t in &ts {
+        assert!(state.try_admit(t));
+        state.commit(*t);
+    }
+}

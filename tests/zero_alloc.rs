@@ -1,0 +1,152 @@
+//! Proof of the zero-allocation milestone: once an admission state's
+//! buffers are warm, **admission probes perform no heap allocations**,
+//! and neither do workspace-backed one-shot judgements.
+//!
+//! A counting global allocator wraps `System`; each scenario warms its
+//! buffers first (capacity growth is allowed to allocate), then asserts
+//! an allocation delta of **zero** over many repetitions. The binary
+//! holds a single `#[test]` so no concurrent test can pollute the
+//! counter.
+
+// The counting allocator is the one place the workspace needs `unsafe`:
+// a thin pass-through to `System` with a relaxed atomic counter.
+#![allow(unsafe_code)]
+
+use mcsched::analysis::{
+    AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest, WorkspaceRef,
+};
+use mcsched::model::{Task, TaskSet};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocation and reallocation; frees are untracked (a probe
+/// that frees must have allocated first, so zero allocations ⇒ zero
+/// churn).
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocations it performed.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// A mixed workload that every test admits partially: some tasks commit,
+/// later probes run against non-trivial committed state.
+fn committed_tasks() -> Vec<Task> {
+    vec![
+        Task::hi(0, 10, 1, 2).unwrap(),
+        Task::lo(1, 20, 3).unwrap(),
+        Task::hi_constrained(2, 25, 2, 4, 20).unwrap(),
+        Task::lo_constrained(3, 12, 1, 5).unwrap(),
+        Task::hi(4, 40, 2, 5).unwrap(),
+    ]
+}
+
+/// Probe candidates: one admissible (never committed), one rejected.
+fn probes() -> Vec<Task> {
+    vec![
+        Task::lo(90, 30, 1).unwrap(),
+        Task::hi(91, 10, 6, 9).unwrap(),
+    ]
+}
+
+/// Asserts zero allocations across repeated `try_admit` probes on a
+/// warmed state of `test`.
+fn assert_zero_alloc_admission(test: &dyn SchedulabilityTest) {
+    let ws = WorkspaceRef::new();
+    let mut state = test.admission_state_in(&ws);
+    for t in committed_tasks() {
+        if state.try_admit(&t) {
+            state.commit(t);
+        }
+    }
+    let probes = probes();
+    // Warm-up pass: let every scratch buffer reach its high-water mark.
+    for p in &probes {
+        let _ = state.try_admit(p);
+    }
+    // Steady state: not a single heap allocation across 64 probe rounds.
+    let allocs = count_allocations(|| {
+        for _ in 0..64 {
+            for p in &probes {
+                std::hint::black_box(state.try_admit(std::hint::black_box(p)));
+            }
+        }
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "{}: steady-state admission probes allocated {allocs} times",
+        test.name()
+    );
+}
+
+/// Asserts zero allocations across repeated workspace-backed one-shot
+/// judgements of `test`.
+fn assert_zero_alloc_one_shot(test: &dyn SchedulabilityTest, sets: &[TaskSet]) {
+    let mut ws = AnalysisWorkspace::new();
+    for ts in sets {
+        let _ = test.is_schedulable_in(ts, &mut ws); // warm-up
+    }
+    let allocs = count_allocations(|| {
+        for _ in 0..32 {
+            for ts in sets {
+                std::hint::black_box(test.is_schedulable_in(std::hint::black_box(ts), &mut ws));
+            }
+        }
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "{}: steady-state one-shot judgements allocated {allocs} times",
+        test.name()
+    );
+}
+
+#[test]
+fn admission_and_one_shot_paths_are_allocation_free() {
+    let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
+        Box::new(EdfVd::new()),
+        Box::new(Ey::new()),
+        Box::new(Ecdf::new()),
+        Box::new(AmcRtb::new()),
+        Box::new(AmcRtb::with_audsley()),
+        Box::new(AmcMax::new()),
+    ];
+    let sets = vec![
+        TaskSet::try_from_tasks(committed_tasks()).unwrap(),
+        TaskSet::try_from_tasks(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::hi(1, 25, 3, 7).unwrap(),
+            Task::lo(2, 20, 5).unwrap(),
+            Task::lo(3, 15, 2).unwrap(),
+        ])
+        .unwrap(),
+    ];
+    for test in &tests {
+        assert_zero_alloc_admission(test.as_ref());
+        assert_zero_alloc_one_shot(test.as_ref(), &sets);
+    }
+}
