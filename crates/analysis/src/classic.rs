@@ -11,7 +11,8 @@
 //! * **low-mode** — every task at `C^L`. Any sound MC test must imply
 //!   schedulability of this projection (used by property tests).
 
-use crate::dbf::{self, VdTask};
+use crate::dbf::VdTask;
+use crate::workspace::AnalysisWorkspace;
 use crate::{amc, SchedulabilityTest};
 use mcsched_model::{Task, TaskSet};
 
@@ -25,24 +26,25 @@ pub enum BudgetProjection {
     LoMode,
 }
 
+/// Flattens one task to a single-budget sporadic task under `projection`.
+fn project_task(t: &Task, projection: BudgetProjection) -> Option<VdTask> {
+    let budget = match projection {
+        BudgetProjection::OwnLevel => t.wcet_own(),
+        BudgetProjection::LoMode => t.wcet_lo(),
+    };
+    let flat = Task::builder(t.id().0)
+        .period(t.period().as_ticks())
+        .criticality(t.criticality())
+        .wcet_lo(budget.as_ticks())
+        .wcet_hi(budget.as_ticks())
+        .deadline(t.deadline().as_ticks())
+        .try_build()
+        .ok()?;
+    Some(VdTask::untightened(flat))
+}
+
 fn project(ts: &TaskSet, projection: BudgetProjection) -> Option<Vec<VdTask>> {
-    ts.iter()
-        .map(|t| {
-            let budget = match projection {
-                BudgetProjection::OwnLevel => t.wcet_own(),
-                BudgetProjection::LoMode => t.wcet_lo(),
-            };
-            let flat = Task::builder(t.id().0)
-                .period(t.period().as_ticks())
-                .criticality(t.criticality())
-                .wcet_lo(budget.as_ticks())
-                .wcet_hi(budget.as_ticks())
-                .deadline(t.deadline().as_ticks())
-                .try_build()
-                .ok()?;
-            Some(VdTask::untightened(flat))
-        })
-        .collect()
+    ts.iter().map(|t| project_task(t, projection)).collect()
 }
 
 /// Plain EDF with an exact processor-demand test (QPA-accelerated).
@@ -93,10 +95,22 @@ impl SchedulabilityTest for ClassicEdf {
     }
 
     fn is_schedulable(&self, ts: &TaskSet) -> bool {
-        match project(ts, self.projection) {
-            Some(tasks) => dbf::check_lo_mode(&tasks).is_ok(),
-            None => false, // a budget exceeded a deadline in projection
+        AnalysisWorkspace::with(|ws| self.is_schedulable_in(ts, ws))
+    }
+
+    fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
+        // Project straight into the demand kernel (no intermediate
+        // vector): the exact QPA check over the flat projection is
+        // bit-identical to the seed `check_lo_mode` path.
+        let kernel = &mut ws.demand;
+        kernel.clear();
+        for t in ts.iter() {
+            let Some(vt) = project_task(t, self.projection) else {
+                return false; // a budget exceeded a deadline in projection
+            };
+            kernel.push_task(vt);
         }
+        kernel.check_lo().is_ok()
     }
 }
 

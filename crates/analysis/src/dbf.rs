@@ -51,7 +51,19 @@
 //! nothing in `(h(t), t]` can violate — and step down by one when
 //! `h(t) = t`. This is orders of magnitude cheaper than enumerating demand
 //! breakpoints and makes dbf tests usable inside partitioning inner loops.
+//!
+//! ## Layers
+//!
+//! The public one-shot checks ([`check_lo_mode`] / [`check_hi_mode`]) are
+//! thin wrappers over the **incremental demand kernel**
+//! ([`crate::demand::DemandKernel`]), which owns the per-task demand-step
+//! state, memoises violated `(t, h(t))` samples, and warm-resumes QPA
+//! fixpoints across the tuner and admission loops. The seed (flat,
+//! per-call) implementations are retained **verbatim** in [`mod@reference`];
+//! the kernel's verdicts — including violation witnesses — are pinned
+//! bit-identical to them by `tests/demand_kernel.rs`.
 
+use crate::workspace::AnalysisWorkspace;
 use mcsched_model::{Task, Time};
 
 /// A task paired with its assigned virtual deadline `Vi`.
@@ -154,169 +166,203 @@ impl DemandCheck {
 
 /// Iteration budget for the QPA descent. Generously above what any
 /// generated task set needs (typical descents take < 100 steps).
-const QPA_BUDGET: usize = 100_000;
+pub(crate) const QPA_BUDGET: usize = 100_000;
 
 /// Epsilon below which a utilization sum is treated as saturating the
 /// processor (guards the `1/(1 − U)` busy-window bound).
-const UTIL_EPS: f64 = 1e-9;
-
-/// QPA-style verification that `h(t) ≤ t` for all integer `t ∈ [0, bound]`,
-/// for a nondecreasing integer demand function `h`.
-fn qpa_check(bound: u64, h: impl Fn(Time) -> Time) -> DemandCheck {
-    // Zero-length windows carry demand when a deadline can coincide with
-    // the window start (e.g. an untightened HC task at the mode switch).
-    if h(Time::ZERO) > Time::ZERO {
-        return DemandCheck::Violation(Time::ZERO);
-    }
-    if bound == 0 {
-        return DemandCheck::Ok;
-    }
-    let mut t = Time::new(bound);
-    for _ in 0..QPA_BUDGET {
-        let d = h(t);
-        if d > t {
-            return DemandCheck::Violation(t);
-        }
-        if d.is_zero() {
-            return DemandCheck::Ok;
-        }
-        if d < t {
-            // No violation possible in (d, t]: for t' there,
-            // h(t') ≤ h(t) = d < t'.
-            t = d;
-        } else {
-            // h(t) == t: the point itself is fine; continue below it.
-            if t == Time::ONE {
-                return DemandCheck::Ok;
-            }
-            t -= Time::ONE;
-        }
-    }
-    DemandCheck::Unbounded
-}
+pub(crate) const UTIL_EPS: f64 = 1e-9;
 
 /// Verifies the low-mode condition `Σ dbf_LO(t) ≤ t` for all `t` up to the
 /// busy-window bound `Σ u_i (Ti − Vi) / (1 − Σ u_i)`.
 ///
 /// Returns [`DemandCheck::Unbounded`] when `Σ C^L_i/Ti` reaches 1 and at
-/// least one deadline is tightened or constrained (the bound degenerates);
-/// the exact-utilization-1, implicit-deadline, untightened case is accepted
-/// directly (plain EDF optimality).
+/// least one deadline is tightened or constrained (the bound degenerates),
+/// and — the typed early-reject — when the busy-window bound is too large
+/// to represent (utilization within rounding distance of 1, or extreme
+/// task parameters); the exact-utilization-1, implicit-deadline,
+/// untightened case is accepted directly (plain EDF optimality). Certain
+/// overload (`U > 1`) reports a clamped (saturating) busy-window horizon
+/// as its violation witness.
+///
+/// This is a thin wrapper over the incremental demand kernel
+/// ([`crate::demand::DemandKernel`]) on a pooled workspace; the verdict is
+/// bit-identical to the retained seed path [`reference::check_lo_mode`].
 pub fn check_lo_mode(tasks: &[VdTask]) -> DemandCheck {
-    if tasks.is_empty() {
-        return DemandCheck::Ok;
-    }
-    let util: f64 = tasks
-        .iter()
-        .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64())
-        .sum();
-    let all_implicit_untightened = tasks.iter().all(|vt| vt.vd == vt.task.period());
-    if util > 1.0 + UTIL_EPS {
-        // Overload: a violation certainly exists; report the busy-window
-        // horizon as witness without searching for the exact point.
-        return DemandCheck::Violation(violation_horizon_lo(tasks, util));
-    }
-    if util >= 1.0 - UTIL_EPS {
-        return if all_implicit_untightened {
-            DemandCheck::Ok
-        } else {
-            DemandCheck::Unbounded
-        };
-    }
-    if all_implicit_untightened {
-        // Implicit deadlines, no tightening: EDF utilization bound is exact.
-        return DemandCheck::Ok;
-    }
-    // K = Σ u_i (Ti − Vi); horizon = K / (1 − U).
-    let k: f64 = tasks
-        .iter()
-        .map(|vt| {
-            let u = vt.task.wcet_lo().as_f64() / vt.task.period().as_f64();
-            u * (vt.task.period() - vt.vd.min(vt.task.period())).as_f64()
-        })
-        .sum();
-    let bound = (k / (1.0 - util)).ceil() as u64;
-    qpa_check(bound, |t| total_dbf_lo(tasks, t))
-}
-
-fn violation_horizon_lo(tasks: &[VdTask], util: f64) -> Time {
-    // Σ dbf_LO(t) ≥ U·t − Σ u_i·Vi for t ≥ max Vi, so demand exceeds t by
-    // t > Σ u_i·Vi / (U − 1).
-    let k: f64 = tasks
-        .iter()
-        .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64() * vt.vd.as_f64())
-        .sum();
-    let max_v = tasks.iter().map(|vt| vt.vd).fold(Time::ZERO, Time::max);
-    Time::new((k / (util - 1.0)).ceil() as u64).max(max_v) + Time::ONE
+    AnalysisWorkspace::with(|ws| {
+        ws.demand.load(tasks);
+        ws.demand.check_lo()
+    })
 }
 
 /// Verifies the high-mode condition `Σ_HC dbf_HI(t) ≤ t` for all `t` up to
 /// the busy-window bound `Σ_HC (C^H_i + u^H_i·(Ti − di)) / (1 − Σ u^H_i)`.
+///
+/// A thin wrapper over the incremental demand kernel, which extracts the
+/// HC subset once on load (the single HC-subset copy path of the demand
+/// stack); bit-identical to [`reference::check_hi_mode`]. The same
+/// overload clamping as [`check_lo_mode`] applies.
 pub fn check_hi_mode(tasks: &[VdTask]) -> DemandCheck {
-    let hc: Vec<VdTask> = tasks
-        .iter()
-        .filter(|vt| vt.task.criticality().is_high())
-        .copied()
-        .collect();
-    check_hi_mode_hc(&hc)
+    AnalysisWorkspace::with(|ws| {
+        ws.demand.load(tasks);
+        ws.demand.check_hi()
+    })
 }
 
-/// As [`check_hi_mode`], with the HC subset copied once into a reusable
-/// scratch buffer (cleared first) so the QPA descent's repeated demand
-/// evaluations iterate a contiguous HC-only slice instead of
-/// re-filtering the whole set at every point — and so the greedy tuners'
-/// inner loop stays allocation-free. Filtering preserves slice order, so
-/// every floating-point sum accumulates in exactly the order the seed
-/// implementation used; the result is identical to `check_hi_mode`.
+/// As [`check_hi_mode`]. The signature (with its caller-provided HC
+/// scratch buffer) predates the incremental demand kernel, which now owns
+/// the single HC-subset copy path internally; `hc_scratch` is no longer
+/// read and the parameter is retained only for API compatibility.
 pub fn check_hi_mode_in(tasks: &[VdTask], hc_scratch: &mut Vec<VdTask>) -> DemandCheck {
-    hc_scratch.clear();
-    hc_scratch.extend(
-        tasks
+    let _ = hc_scratch;
+    check_hi_mode(tasks)
+}
+
+/// Seed (flat, per-call) demand checks retained **verbatim** as the
+/// equivalence reference for the incremental demand kernel — the
+/// counterpart of [`crate::amc::reference`] / [`crate::vdtune::reference`].
+///
+/// The `BENCH_analysis.json` artifact (`mcexp --analysis-json`) and the
+/// equivalence suites (`tests/demand_kernel.rs`) compare against these;
+/// nothing on the hot path calls them. Note the seed horizons are *not*
+/// clamped: the satellite overflow fix applies to the kernel path only.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// QPA-style verification that `h(t) ≤ t` for all integer
+    /// `t ∈ [0, bound]`, for a nondecreasing integer demand function `h`.
+    pub(crate) fn qpa_check(bound: u64, h: impl Fn(Time) -> Time) -> DemandCheck {
+        // Zero-length windows carry demand when a deadline can coincide with
+        // the window start (e.g. an untightened HC task at the mode switch).
+        if h(Time::ZERO) > Time::ZERO {
+            return DemandCheck::Violation(Time::ZERO);
+        }
+        if bound == 0 {
+            return DemandCheck::Ok;
+        }
+        let mut t = Time::new(bound);
+        for _ in 0..QPA_BUDGET {
+            let d = h(t);
+            if d > t {
+                return DemandCheck::Violation(t);
+            }
+            if d.is_zero() {
+                return DemandCheck::Ok;
+            }
+            if d < t {
+                // No violation possible in (d, t]: for t' there,
+                // h(t') ≤ h(t) = d < t'.
+                t = d;
+            } else {
+                // h(t) == t: the point itself is fine; continue below it.
+                if t == Time::ONE {
+                    return DemandCheck::Ok;
+                }
+                t -= Time::ONE;
+            }
+        }
+        DemandCheck::Unbounded
+    }
+
+    /// The seed low-mode check.
+    pub fn check_lo_mode(tasks: &[VdTask]) -> DemandCheck {
+        if tasks.is_empty() {
+            return DemandCheck::Ok;
+        }
+        let util: f64 = tasks
+            .iter()
+            .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64())
+            .sum();
+        let all_implicit_untightened = tasks.iter().all(|vt| vt.vd == vt.task.period());
+        if util > 1.0 + UTIL_EPS {
+            // Overload: a violation certainly exists; report the busy-window
+            // horizon as witness without searching for the exact point.
+            return DemandCheck::Violation(violation_horizon_lo(tasks, util));
+        }
+        if util >= 1.0 - UTIL_EPS {
+            return if all_implicit_untightened {
+                DemandCheck::Ok
+            } else {
+                DemandCheck::Unbounded
+            };
+        }
+        if all_implicit_untightened {
+            // Implicit deadlines, no tightening: EDF utilization bound is exact.
+            return DemandCheck::Ok;
+        }
+        // K = Σ u_i (Ti − Vi); horizon = K / (1 − U).
+        let k: f64 = tasks
+            .iter()
+            .map(|vt| {
+                let u = vt.task.wcet_lo().as_f64() / vt.task.period().as_f64();
+                u * (vt.task.period() - vt.vd.min(vt.task.period())).as_f64()
+            })
+            .sum();
+        let bound = (k / (1.0 - util)).ceil() as u64;
+        qpa_check(bound, |t| total_dbf_lo(tasks, t))
+    }
+
+    fn violation_horizon_lo(tasks: &[VdTask], util: f64) -> Time {
+        // Σ dbf_LO(t) ≥ U·t − Σ u_i·Vi for t ≥ max Vi, so demand exceeds t by
+        // t > Σ u_i·Vi / (U − 1).
+        let k: f64 = tasks
+            .iter()
+            .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64() * vt.vd.as_f64())
+            .sum();
+        let max_v = tasks.iter().map(|vt| vt.vd).fold(Time::ZERO, Time::max);
+        Time::new((k / (util - 1.0)).ceil() as u64).max(max_v) + Time::ONE
+    }
+
+    /// The seed high-mode check (per-call HC filter + flat QPA).
+    pub fn check_hi_mode(tasks: &[VdTask]) -> DemandCheck {
+        let hc: Vec<VdTask> = tasks
             .iter()
             .filter(|vt| vt.task.criticality().is_high())
-            .copied(),
-    );
-    check_hi_mode_hc(hc_scratch)
-}
+            .copied()
+            .collect();
+        check_hi_mode_hc(&hc)
+    }
 
-/// The high-mode check over an HC-only slice.
-fn check_hi_mode_hc(hc: &[VdTask]) -> DemandCheck {
-    if hc.is_empty() {
-        return DemandCheck::Ok;
+    /// The high-mode check over an HC-only slice.
+    fn check_hi_mode_hc(hc: &[VdTask]) -> DemandCheck {
+        if hc.is_empty() {
+            return DemandCheck::Ok;
+        }
+        let util: f64 = hc
+            .iter()
+            .map(|vt| vt.task.wcet_hi().as_f64() / vt.task.period().as_f64())
+            .sum();
+        if util > 1.0 + UTIL_EPS {
+            return DemandCheck::Violation(violation_horizon_hi(hc, util));
+        }
+        if util >= 1.0 - UTIL_EPS {
+            // The busy-window bound degenerates; conservatively refuse.
+            return DemandCheck::Unbounded;
+        }
+        // dbf_HI(τi, t) ≤ k(t)·C^H ≤ u^H_i·t + C^H_i + u^H_i·(Ti − di).
+        let k: f64 = hc
+            .iter()
+            .map(|vt| {
+                let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+                vt.task.wcet_hi().as_f64()
+                    + u * (vt.task.period().saturating_sub(vt.dist())).as_f64()
+            })
+            .sum();
+        let bound = (k / (1.0 - util)).ceil() as u64;
+        qpa_check(bound, |t| hc.iter().map(|vt| dbf_hi(vt, t)).sum::<Time>())
     }
-    let util: f64 = hc
-        .iter()
-        .map(|vt| vt.task.wcet_hi().as_f64() / vt.task.period().as_f64())
-        .sum();
-    if util > 1.0 + UTIL_EPS {
-        return DemandCheck::Violation(violation_horizon_hi(hc, util));
-    }
-    if util >= 1.0 - UTIL_EPS {
-        // The busy-window bound degenerates; conservatively refuse.
-        return DemandCheck::Unbounded;
-    }
-    // dbf_HI(τi, t) ≤ k(t)·C^H ≤ u^H_i·t + C^H_i + u^H_i·(Ti − di).
-    let k: f64 = hc
-        .iter()
-        .map(|vt| {
-            let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
-            vt.task.wcet_hi().as_f64() + u * (vt.task.period().saturating_sub(vt.dist())).as_f64()
-        })
-        .sum();
-    let bound = (k / (1.0 - util)).ceil() as u64;
-    qpa_check(bound, |t| hc.iter().map(|vt| dbf_hi(vt, t)).sum::<Time>())
-}
 
-fn violation_horizon_hi(hc: &[VdTask], util: f64) -> Time {
-    let k: f64 = hc
-        .iter()
-        .map(|vt| {
-            let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
-            u * vt.dist().as_f64() + vt.task.wcet_lo().as_f64()
-        })
-        .sum();
-    let max_d = hc.iter().map(|vt| vt.dist()).fold(Time::ZERO, Time::max);
-    Time::new((k / (util - 1.0)).ceil() as u64).max(max_d) + Time::ONE
+    fn violation_horizon_hi(hc: &[VdTask], util: f64) -> Time {
+        let k: f64 = hc
+            .iter()
+            .map(|vt| {
+                let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+                u * vt.dist().as_f64() + vt.task.wcet_lo().as_f64()
+            })
+            .sum();
+        let max_d = hc.iter().map(|vt| vt.dist()).fold(Time::ZERO, Time::max);
+        Time::new((k / (util - 1.0)).ceil() as u64).max(max_d) + Time::ONE
+    }
 }
 
 /// A sampled demand curve, convenient for inspection, plotting and tests.
@@ -615,6 +661,89 @@ mod tests {
         assert_eq!(c.points()[5], (Time::new(5), Time::new(2)));
         assert_eq!(c.points()[10], (Time::new(10), Time::new(4)));
         assert_eq!(c.first_violation(), None);
+    }
+
+    #[test]
+    fn public_checks_match_reference_exactly() {
+        let cases = vec![
+            vec![
+                vd(Task::hi(0, 10, 2, 4).unwrap(), 6),
+                vd(Task::hi(1, 15, 3, 7).unwrap(), 9),
+            ],
+            vec![
+                vd(Task::hi(0, 20, 5, 10).unwrap(), 5),
+                vd(Task::hi(1, 20, 5, 10).unwrap(), 5),
+            ],
+            vec![VdTask::untightened(Task::hi(0, 10, 2, 5).unwrap())],
+            vec![
+                vd(Task::hi(0, 10, 2, 6).unwrap(), 5),
+                vd(Task::hi(1, 10, 2, 6).unwrap(), 5),
+            ],
+            vec![VdTask::untightened(Task::lo(0, 10, 9).unwrap())],
+            vec![],
+        ];
+        for tasks in cases {
+            assert_eq!(
+                check_lo_mode(&tasks),
+                reference::check_lo_mode(&tasks),
+                "lo diverged on {tasks:?}"
+            );
+            assert_eq!(
+                check_hi_mode(&tasks),
+                reference::check_hi_mode(&tasks),
+                "hi diverged on {tasks:?}"
+            );
+            let mut scratch = Vec::new();
+            assert_eq!(
+                check_hi_mode_in(&tasks, &mut scratch),
+                check_hi_mode(&tasks)
+            );
+        }
+    }
+
+    #[test]
+    fn near_unit_utilization_is_typed_early_reject() {
+        // U = 1 − 1e-12 with a tightened deadline: the busy-window bound
+        // would be astronomically large; the check must answer Unbounded
+        // instead of descending from a saturated horizon.
+        let period = 1_000_000_000_000u64; // 1e12
+        let t = Task::hi(0, period, period - 1, period - 1).unwrap();
+        let tasks = vec![vd(t, period - 10)];
+        assert_eq!(check_lo_mode(&tasks), DemandCheck::Unbounded);
+        // U just above 1 (but within UTIL_EPS): same typed early-reject.
+        let a = Task::lo(0, 10, 10).unwrap();
+        let b = Task::lo(1, 1_000_000_000_000, 2).unwrap(); // u = 2e-12
+        let tasks = vec![
+            vd(a, 9), // tightened so the all-implicit fast accept is off
+            VdTask::untightened(b),
+        ];
+        assert_eq!(check_lo_mode(&tasks), DemandCheck::Unbounded);
+    }
+
+    #[test]
+    fn certain_overload_horizon_is_clamped() {
+        // U > 1 + ε with extreme parameters: the seed horizon arithmetic
+        // saturated `as u64` and then overflowed on `+ 1`; the kernel path
+        // must clamp (saturating) and still report a violation.
+        let big = 1_000_000_000_000_000_000u64; // 1e18
+        let full = Task::lo(0, big, big).unwrap(); // u = 1.0
+        let eps = Task::lo(1, 1_000_000_000, 2).unwrap(); // u = 2e-9 > UTIL_EPS
+        let tasks = vec![VdTask::untightened(full), VdTask::untightened(eps)];
+        let r = check_lo_mode(&tasks);
+        assert!(matches!(r, DemandCheck::Violation(_)), "{r:?}");
+        // Ordinary overload keeps its finite busy-window witness,
+        // identical to the seed path.
+        let tasks = vec![
+            VdTask::untightened(Task::lo(0, 10, 6).unwrap()),
+            VdTask::untightened(Task::lo(1, 10, 6).unwrap()),
+        ];
+        assert_eq!(check_lo_mode(&tasks), reference::check_lo_mode(&tasks));
+        // High-mode overload: clamped horizon, no panic.
+        let h1 = Task::hi(0, big, 1, big).unwrap();
+        let h2 = Task::hi(1, 1_000_000_000, 1, 2).unwrap();
+        let tasks = vec![vd(h1, 1), vd(h2, 1)];
+        let r = check_hi_mode(&tasks);
+        assert!(matches!(r, DemandCheck::Violation(_)), "{r:?}");
     }
 
     #[test]

@@ -1,0 +1,880 @@
+//! The **incremental demand kernel**: memoised, warm-startable QPA for
+//! the EY / ECDF demand stack.
+//!
+//! The virtual-deadline tuners ([`crate::vdtune`]) and the admission
+//! layer ([`crate::incremental`]) call the demand checks of
+//! [`crate::dbf`] in tight loops where successive checks differ by a
+//! *single task's* virtual deadline (one greedy tightening move, possibly
+//! reverted) or by one pushed / popped task (an admission probe). The
+//! flat `total_dbf_* + qpa_check` API throws that structure away: every
+//! probe re-runs the full descending QPA fixpoint from the busy-window
+//! bound, re-summing `dbf_LO` / `dbf_HI` over all tasks at every jump
+//! point. A [`DemandKernel`] instead *owns* the assignment and keeps
+//! enough exact state to answer the next check from the previous one.
+//!
+//! ## What the kernel caches
+//!
+//! * **Per-task demand steps** ([`TaskDemand`]) — the cached
+//!   `(C^L, C^H, T, V, d = D − V)` terms of the Ekberg–Yi demand bounds,
+//!   so each evaluation is branch-light and the high-mode sum iterates a
+//!   contiguous HC-only index list (one HC-subset copy path, shared by
+//!   every public entry point).
+//! * **Violation anchors** — a bounded set of exact `(t, Σ dbf_LO(t))`
+//!   pairs at instants where earlier QPA descents found demand exceeding
+//!   supply. All memo arithmetic is integer ([`mcsched_model::Time`]),
+//!   so the values are *exact*, never approximations.
+//! * **Running utilization sums** — `Σ C^L/T` and `Σ_HC C^H/T` in
+//!   insertion order. Virtual deadlines never enter them, so tuner moves
+//!   leave them untouched; appends accumulate onto the running value,
+//!   which is bit-identical to the fresh left-to-right summation the
+//!   seed performs.
+//! * **Warm-resume state** for the high-mode QPA — the previous
+//!   fixpoint outcome plus a snapshot of the virtual deadlines it was
+//!   computed for.
+//!
+//! ## Delta-update contract
+//!
+//! The mutating operations keep every cached value exact:
+//!
+//! * [`replace_vd(i, v)`](DemandKernel::replace_vd) — changes one task's
+//!   virtual deadline. Each memoised `(t, h)` pair is updated by the
+//!   *integer* delta `h ← h − dbf(τi, v_old, t) + dbf(τi, v_new, t)`,
+//!   which is exact (no floating point is ever memoised), so memo
+//!   entries remain true demand sums for the *current* assignment.
+//! * [`push_task`](DemandKernel::push_task) / [`pop_task`](DemandKernel::pop_task)
+//!   — append / remove the last task, delta-updating every memo entry by
+//!   that task's contribution. `pop_task` is LIFO by design: the
+//!   admission layer probes `committed ∪ {candidate}` and pops the
+//!   candidate afterwards, keeping the kernel warm across probes.
+//! * [`reseed`](DemandKernel::reseed) — bulk-retargets every virtual
+//!   deadline through `replace_vd`, so switching tuner starts
+//!   (untightened → slack-seeded → untightened) preserves the memos.
+//!
+//! ## Why the shortcuts cannot change a verdict
+//!
+//! The kernel's answers are pinned bit-identical to the retained seed
+//! implementations ([`crate::dbf::reference`]) by `tests/demand_kernel.rs`;
+//! the arguments are:
+//!
+//! * **QPA reports the maximum violation.** For a nondecreasing demand
+//!   function, the descending fixpoint can never skip past the largest
+//!   `t` with `h(t) > t`: clearing an interval `(h(t), t]` requires
+//!   `h(t') ≤ h(t) < t'` for every point in it, which contradicts a
+//!   violation inside. So the reported witness is independent of the
+//!   descent's start point (any start at or above the maximum violation
+//!   gives the same result) — which is what makes warm resume exact.
+//! * **Tightening only shrinks high-mode demand.** `dbf_HI` is
+//!   nonincreasing in `d = D − V` (when the carry-over job's guaranteed
+//!   progress drops by up to `C^L`, the job count `k` drops by one and
+//!   `C^H ≥ C^L` covers the difference), and the busy-window bound
+//!   shrinks with it. Hence when every virtual deadline moved only
+//!   *down* since the last high-mode check, the previously cleared
+//!   region stays clear: a previous `Ok` is still `Ok`, and a previous
+//!   violation point is a valid resume start whose descent finds the
+//!   same maximum violation a cold descent would.
+//! * **Anchors are sound unconditionally.** A memo entry with
+//!   `h(t) > t` and `t` inside the current busy window is a genuine
+//!   violation of the *current* assignment (memo values are exact), so
+//!   the boolean fast path [`lo_feasible`](DemandKernel::lo_feasible)
+//!   may answer "infeasible" without any descent — the reference QPA,
+//!   descending from the same bound, provably finds a violation too.
+//!   Anchors are only ever a shortcut to *reject*; `Ok` is always
+//!   decided by a full (memo-assisted, value-exact) descent.
+//!
+//! The one theoretical divergence is the QPA iteration budget
+//! (`QPA_BUDGET` = 100 000): a resumed descent takes a different number
+//! of steps than a cold one, so a set that exhausts the budget on one
+//! path but not the other could differ. Typical descents take well under
+//! 100 steps; the equivalence suites pin the corpus empirically.
+
+#[cfg(test)]
+use crate::dbf;
+use crate::dbf::{DemandCheck, VdTask, QPA_BUDGET, UTIL_EPS};
+use mcsched_model::{Task, TaskSet, Time};
+
+/// Maximum memoised low-mode violation anchors. Recording past this
+/// overwrites round-robin, so the buffer never grows beyond a fixed
+/// high-water mark (zero steady-state allocations).
+const ANCHOR_CAP: usize = 8;
+
+/// QPA starts above this are meaningless (demand evaluation itself
+/// would overflow `u64` long before); a busy-window bound that rounds
+/// past it is treated as unbounded (typed early-reject) instead of
+/// descending from a saturated horizon.
+const MAX_QPA_START: f64 = (1u64 << 63) as f64;
+
+/// Fixpoint-reuse counters: how the kernel answered its QPA queries.
+///
+/// Surfaced through
+/// [`AdmissionStats`](crate::incremental::AdmissionStats) (the
+/// `mcexp --ablation` admission table) so fixpoint reuse is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QpaCounters {
+    /// Descents started cold from the busy-window bound.
+    pub cold: u64,
+    /// High-mode checks answered from the previous fixpoint (resumed
+    /// from the old violation point, or an instant `Ok` re-confirmed
+    /// because demand only tightened).
+    pub resumed: u64,
+    /// Low-mode feasibility checks rejected by a memoised violation
+    /// anchor without any descent.
+    pub anchor_hits: u64,
+}
+
+/// Cached per-task demand-step state: everything `dbf_LO` / `dbf_HI`
+/// need, pre-derived so the QPA inner loop touches one flat array.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskDemand {
+    /// Virtual (low-mode) deadline `V`.
+    vd: Time,
+    /// Period `T`.
+    period: Time,
+    /// Low-criticality budget `C^L`.
+    c_lo: Time,
+    /// High-criticality budget `C^H` (`= C^L` for LC tasks).
+    c_hi: Time,
+    /// Carry-over distance `d = D − V`.
+    dist: Time,
+    /// Whether the task is high-criticality (contributes to `dbf_HI`).
+    hi: bool,
+}
+
+impl TaskDemand {
+    /// Derives the step state of one task + virtual deadline.
+    pub fn new(vt: &VdTask) -> Self {
+        TaskDemand {
+            vd: vt.vd,
+            period: vt.task.period(),
+            c_lo: vt.task.wcet_lo(),
+            c_hi: vt.task.wcet_hi(),
+            dist: vt.task.deadline() - vt.vd,
+            hi: vt.task.criticality().is_high(),
+        }
+    }
+
+    /// Low-mode demand at `t` — identical to [`crate::dbf::dbf_lo`].
+    #[inline]
+    pub fn lo_at(&self, t: Time) -> Time {
+        if t < self.vd {
+            return Time::ZERO;
+        }
+        self.c_lo * ((t - self.vd).div_floor(self.period) + 1)
+    }
+
+    /// High-mode demand at `t` — identical to [`crate::dbf::dbf_hi`] for HC
+    /// tasks (the kernel never evaluates it for LC tasks).
+    #[inline]
+    pub fn hi_at(&self, t: Time) -> Time {
+        if t < self.dist {
+            return Time::ZERO;
+        }
+        let rel = t - self.dist;
+        let k = rel.div_floor(self.period) + 1;
+        let md = rel % self.period;
+        let done = self.c_lo.saturating_sub(md);
+        self.c_hi * k - done
+    }
+}
+
+/// A bounded set of exact `(t, Σ dbf_LO(t))` samples at historically
+/// violated instants, kept exact for the *current* assignment through
+/// integer delta-updates.
+#[derive(Debug, Default)]
+struct Anchors {
+    entries: Vec<(Time, Time)>,
+    /// Round-robin overwrite position once at capacity.
+    cursor: usize,
+}
+
+impl Anchors {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+
+    /// Records a violated sample (values at other instants age into
+    /// non-violations via the delta-updates but are kept — demand often
+    /// swings back over them).
+    fn record(&mut self, t: Time, h: Time) {
+        if t.is_zero() {
+            return; // h(0) is re-checked explicitly by every descent
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == t) {
+            e.1 = h;
+        } else if self.entries.len() < ANCHOR_CAP {
+            self.entries.push((t, h));
+        } else {
+            self.entries[self.cursor] = (t, h);
+            self.cursor = (self.cursor + 1) % ANCHOR_CAP;
+        }
+    }
+
+    /// Some memoised violation (`h > t`), if any.
+    #[inline]
+    fn violation(&self) -> Option<Time> {
+        self.entries.iter().find(|&&(t, h)| h > t).map(|&(t, _)| t)
+    }
+}
+
+/// The incremental demand kernel: owns a virtual-deadline assignment and
+/// answers low- / high-mode demand checks with warm state reuse.
+///
+/// See the [module docs](self) for the delta-update contract and the
+/// soundness arguments. Verdicts (including violation witnesses) are
+/// bit-identical to the retained seed path in [`crate::dbf::reference`].
+///
+/// # Example
+///
+/// ```
+/// use mcsched_analysis::demand::DemandKernel;
+/// use mcsched_analysis::dbf::{self, VdTask};
+/// use mcsched_model::{Task, Time};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// let mut kernel = DemandKernel::new();
+/// kernel.push_task(VdTask::untightened(Task::hi(0, 10, 2, 5)?));
+///
+/// // Untightened HC tasks always violate the zero-length window.
+/// assert_eq!(kernel.check_hi(), dbf::DemandCheck::Violation(Time::ZERO));
+///
+/// // Tighten the virtual deadline: the kernel delta-updates its state
+/// // and the re-check matches a from-scratch analysis exactly.
+/// kernel.replace_vd(0, Time::new(5));
+/// assert!(kernel.check_hi().is_ok());
+/// assert!(kernel.check_lo().is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct DemandKernel {
+    /// The assignment, in task order.
+    tasks: Vec<VdTask>,
+    /// Cached demand steps, parallel to `tasks`.
+    steps: Vec<TaskDemand>,
+    /// Indices of the HC tasks, in task order (the single HC-subset
+    /// copy path of the demand stack).
+    hc: Vec<usize>,
+    /// How many tasks currently have `V = T` (the implicit-deadline,
+    /// untightened special case of the low-mode check).
+    untight_implicit: usize,
+    /// Running `Σ C^L/T` in task order. Virtual deadlines do not enter
+    /// it, so it is invariant under [`replace_vd`](Self::replace_vd);
+    /// appends accumulate onto the running value — exactly what a fresh
+    /// left-to-right summation would produce, hence bit-identical —
+    /// and removals recompute it in order.
+    lo_util: f64,
+    /// Running `Σ_HC C^H/T` in HC order (same discipline as `lo_util`).
+    hi_util: f64,
+    /// Exact low-mode demand samples at historical violation points.
+    lo_anchors: Anchors,
+    /// Virtual deadlines at the last high-mode QPA, for resume validity.
+    hi_snap: Vec<Time>,
+    /// Whether `hi_snap` / `hi_prev` describe the current task list.
+    hi_snap_valid: bool,
+    /// Outcome of the last high-mode QPA stage (not the prelude).
+    hi_prev: Option<DemandCheck>,
+    /// Fixpoint-reuse counters.
+    counters: QpaCounters,
+}
+
+impl DemandKernel {
+    /// An empty kernel (buffers grow to the high-water mark on use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current assignment, in task order.
+    #[inline]
+    pub fn assignment(&self) -> &[VdTask] {
+        &self.tasks
+    }
+
+    /// Number of loaded tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no tasks are loaded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The fixpoint-reuse counters accumulated by this kernel.
+    pub fn counters(&self) -> QpaCounters {
+        self.counters
+    }
+
+    /// Drops all tasks and memos (counters are kept — they describe the
+    /// kernel's lifetime, not one assignment).
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+        self.steps.clear();
+        self.hc.clear();
+        self.untight_implicit = 0;
+        self.lo_util = 0.0;
+        self.hi_util = 0.0;
+        self.lo_anchors.clear();
+        self.hi_snap_valid = false;
+        self.hi_prev = None;
+    }
+
+    /// Replaces the contents with `tasks` (memos cleared: samples of a
+    /// different set are meaningless).
+    pub fn load(&mut self, tasks: &[VdTask]) {
+        self.clear();
+        for vt in tasks {
+            self.push_task(*vt);
+        }
+    }
+
+    /// Replaces the contents with the untightened assignment of `ts`.
+    pub fn load_untightened(&mut self, ts: &TaskSet) {
+        self.clear();
+        for t in ts.iter() {
+            self.push_task(VdTask::untightened(*t));
+        }
+    }
+
+    /// Appends a task, delta-updating every memoised demand sample by
+    /// its contribution (exact integer arithmetic) and accumulating the
+    /// running utilization sums in insertion order (bit-identical to a
+    /// fresh left-to-right summation).
+    pub fn push_task(&mut self, vt: VdTask) {
+        let step = TaskDemand::new(&vt);
+        for e in &mut self.lo_anchors.entries {
+            e.1 += step.lo_at(e.0);
+        }
+        self.lo_util += step.c_lo.as_f64() / step.period.as_f64();
+        if step.hi {
+            self.hi_util += step.c_hi.as_f64() / step.period.as_f64();
+            self.hc.push(self.tasks.len());
+        }
+        if vt.vd == vt.task.period() {
+            self.untight_implicit += 1;
+        }
+        self.tasks.push(vt);
+        self.steps.push(step);
+        // The task list changed: the high-mode snapshot no longer
+        // describes it (demand grew, so resume would be unsound anyway).
+        self.hi_snap_valid = false;
+        self.hi_prev = None;
+    }
+
+    /// Removes the **last** task (LIFO — the admission-probe pattern),
+    /// delta-updating the memoised samples by its former contribution.
+    /// The utilization sums are recomputed in order (floating-point
+    /// subtraction is not exact; re-summation is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is empty.
+    pub fn pop_task(&mut self) -> VdTask {
+        let vt = self.tasks.pop().expect("pop_task on an empty kernel");
+        let step = self.steps.pop().expect("steps parallel to tasks");
+        for e in &mut self.lo_anchors.entries {
+            e.1 -= step.lo_at(e.0);
+        }
+        self.lo_util = self
+            .steps
+            .iter()
+            .map(|s| s.c_lo.as_f64() / s.period.as_f64())
+            .sum();
+        if step.hi {
+            self.hc.pop();
+            self.hi_util = self
+                .hc
+                .iter()
+                .map(|&i| self.steps[i].c_hi.as_f64() / self.steps[i].period.as_f64())
+                .sum();
+        }
+        if vt.vd == vt.task.period() {
+            self.untight_implicit -= 1;
+        }
+        self.hi_snap_valid = false;
+        self.hi_prev = None;
+        vt
+    }
+
+    /// Sets the `idx`-th task's virtual deadline to `vd`, delta-updating
+    /// every memoised demand sample by the exact integer difference.
+    /// The utilization sums are untouched — they do not depend on
+    /// virtual deadlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn replace_vd(&mut self, idx: usize, vd: Time) {
+        let old = self.tasks[idx].vd;
+        if old == vd {
+            return;
+        }
+        let task = self.tasks[idx].task;
+        let old_step = self.steps[idx];
+        let new_step = TaskDemand::new(&VdTask { task, vd });
+        for e in &mut self.lo_anchors.entries {
+            e.1 = e.1 - old_step.lo_at(e.0) + new_step.lo_at(e.0);
+        }
+        if old == task.period() {
+            self.untight_implicit -= 1;
+        }
+        if vd == task.period() {
+            self.untight_implicit += 1;
+        }
+        self.tasks[idx].vd = vd;
+        self.steps[idx] = new_step;
+        // The high-mode snapshot stays: resume validity is decided at
+        // check time by comparing against it (net tightening resumes).
+    }
+
+    /// Retargets every virtual deadline through
+    /// [`replace_vd`](Self::replace_vd) (memos survive exactly).
+    pub fn reseed(&mut self, mut target: impl FnMut(&Task) -> Time) {
+        for i in 0..self.tasks.len() {
+            let vd = target(&self.tasks[i].task);
+            self.replace_vd(i, vd);
+        }
+    }
+
+    /// Total low-mode demand at `t` (exact).
+    #[inline]
+    fn eval_lo(&self, t: Time) -> Time {
+        self.steps.iter().map(|s| s.lo_at(t)).sum()
+    }
+
+    /// Total high-mode demand at `t` (exact).
+    #[inline]
+    fn eval_hi(&self, t: Time) -> Time {
+        self.hc.iter().map(|&i| self.steps[i].hi_at(t)).sum()
+    }
+
+    /// The exact low-mode check — bit-identical to
+    /// [`crate::dbf::reference::check_lo_mode`] on the current assignment
+    /// (modulo the clamped horizons of the satellite fix; see
+    /// [`crate::dbf::check_lo_mode`]).
+    pub fn check_lo(&mut self) -> DemandCheck {
+        self.lo_check(true)
+    }
+
+    /// The boolean low-mode fast path: exactly
+    /// `self.check_lo().is_ok()`, but allowed to answer "infeasible"
+    /// from a memoised violation anchor without a descent.
+    pub fn lo_feasible(&mut self) -> bool {
+        self.lo_check(false).is_ok()
+    }
+
+    fn lo_check(&mut self, exact: bool) -> DemandCheck {
+        if self.tasks.is_empty() {
+            return DemandCheck::Ok;
+        }
+        // Prelude: identical branch structure to the seed implementation,
+        // over the cached (insertion-order, hence bit-identical)
+        // utilization sum and the O(1) untightened-implicit counter.
+        let util = self.lo_util;
+        let all_implicit_untightened = self.untight_implicit == self.tasks.len();
+        if util > 1.0 + UTIL_EPS {
+            return DemandCheck::Violation(self.horizon_lo(util));
+        }
+        if util >= 1.0 - UTIL_EPS {
+            return if all_implicit_untightened {
+                DemandCheck::Ok
+            } else {
+                DemandCheck::Unbounded
+            };
+        }
+        if all_implicit_untightened {
+            return DemandCheck::Ok;
+        }
+        let k: f64 = self
+            .steps
+            .iter()
+            .map(|s| {
+                let u = s.c_lo.as_f64() / s.period.as_f64();
+                u * (s.period - s.vd.min(s.period)).as_f64()
+            })
+            .sum();
+        let Some(bound) = qpa_start(k, util) else {
+            return DemandCheck::Unbounded;
+        };
+        if !exact {
+            // Anchor fast path: an exact memoised violation inside the
+            // busy window proves infeasibility (the reference descent
+            // from the same bound cannot miss it).
+            if let Some(t) = self.lo_anchors.violation() {
+                if t <= Time::new(bound) {
+                    self.counters.anchor_hits += 1;
+                    return DemandCheck::Violation(t);
+                }
+            }
+        }
+        self.counters.cold += 1;
+        let result = self.qpa(bound, Mode::Lo);
+        if let DemandCheck::Violation(t) = result {
+            self.lo_anchors.record(t, self.eval_lo(t));
+        }
+        result
+    }
+
+    /// The exact high-mode check — bit-identical to
+    /// [`crate::dbf::reference::check_hi_mode`] on the current assignment, with
+    /// the QPA stage warm-resumed from the previous fixpoint whenever
+    /// every virtual deadline moved only down (demand only tightened)
+    /// since the last check.
+    pub fn check_hi(&mut self) -> DemandCheck {
+        if self.hc.is_empty() {
+            return DemandCheck::Ok;
+        }
+        let util = self.hi_util;
+        if util > 1.0 + UTIL_EPS {
+            self.hi_snap_valid = false;
+            self.hi_prev = None;
+            return DemandCheck::Violation(self.horizon_hi(util));
+        }
+        if util >= 1.0 - UTIL_EPS {
+            self.hi_snap_valid = false;
+            self.hi_prev = None;
+            return DemandCheck::Unbounded;
+        }
+        let resume = self.hi_snap_valid
+            && self.hi_snap.len() == self.tasks.len()
+            && self
+                .tasks
+                .iter()
+                .zip(self.hi_snap.iter())
+                .all(|(vt, &snap)| vt.vd <= snap);
+        let result = match (resume, self.hi_prev) {
+            (true, Some(DemandCheck::Ok)) => {
+                // Demand only tightened: the previously cleared window
+                // stays clear, and h(0) can only have shrunk.
+                self.counters.resumed += 1;
+                DemandCheck::Ok
+            }
+            // A zero witness comes from the `h(0) > 0` pre-check — no
+            // descent ran, nothing above it was cleared, so it is not a
+            // resume point.
+            (true, Some(DemandCheck::Violation(t_star))) if !t_star.is_zero() => {
+                // The maximum violation can only have moved down; resume
+                // the descent from the old witness — capped at the
+                // (shrunken) busy-window bound, so a resume is never
+                // slower than the cold descent it replaces.
+                self.counters.resumed += 1;
+                match qpa_start(self.hi_k(), util) {
+                    Some(bound) => self.qpa(bound.min(t_star.as_ticks()), Mode::Hi),
+                    None => {
+                        self.hi_snap_valid = false;
+                        self.hi_prev = None;
+                        return DemandCheck::Unbounded;
+                    }
+                }
+            }
+            _ => {
+                self.counters.cold += 1;
+                match qpa_start(self.hi_k(), util) {
+                    Some(bound) => self.qpa(bound, Mode::Hi),
+                    None => {
+                        self.hi_snap_valid = false;
+                        self.hi_prev = None;
+                        return DemandCheck::Unbounded;
+                    }
+                }
+            }
+        };
+        self.hi_prev = Some(result);
+        self.hi_snap.clear();
+        self.hi_snap.extend(self.tasks.iter().map(|vt| vt.vd));
+        self.hi_snap_valid = true;
+        result
+    }
+
+    /// The seed QPA descent ([`crate::dbf::reference`]'s `qpa_check`) with
+    /// memo-assisted — but value-exact — demand evaluations.
+    fn qpa(&mut self, bound: u64, mode: Mode) -> DemandCheck {
+        if self.eval(mode, Time::ZERO) > Time::ZERO {
+            return DemandCheck::Violation(Time::ZERO);
+        }
+        if bound == 0 {
+            return DemandCheck::Ok;
+        }
+        self.descend(Time::new(bound), mode)
+    }
+
+    /// The high-mode busy-window numerator
+    /// `Σ_HC (C^H + u^H·(T − d))`, in HC order.
+    fn hi_k(&self) -> f64 {
+        self.hc
+            .iter()
+            .map(|&i| {
+                let s = &self.steps[i];
+                let u = s.c_hi.as_f64() / s.period.as_f64();
+                s.c_hi.as_f64() + u * (s.period.saturating_sub(s.dist)).as_f64()
+            })
+            .sum()
+    }
+
+    /// The descending fixpoint loop, starting at `t` (inclusive).
+    fn descend(&mut self, mut t: Time, mode: Mode) -> DemandCheck {
+        for _ in 0..QPA_BUDGET {
+            let d = self.eval(mode, t);
+            if d > t {
+                return DemandCheck::Violation(t);
+            }
+            if d.is_zero() {
+                return DemandCheck::Ok;
+            }
+            if d < t {
+                t = d;
+            } else {
+                if t == Time::ONE {
+                    return DemandCheck::Ok;
+                }
+                t -= Time::ONE;
+            }
+        }
+        DemandCheck::Unbounded
+    }
+
+    #[inline]
+    fn eval(&mut self, mode: Mode, t: Time) -> Time {
+        match mode {
+            Mode::Lo => self.eval_lo(t),
+            Mode::Hi => self.eval_hi(t),
+        }
+    }
+
+    /// Certain-overload witness for the low-mode check (`U > 1`):
+    /// the seed's busy-window horizon, clamped saturating so extreme
+    /// utilizations can no longer overflow `Time` (satellite fix).
+    fn horizon_lo(&self, util: f64) -> Time {
+        let k: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.c_lo.as_f64() / s.period.as_f64() * s.vd.as_f64())
+            .sum();
+        let max_v = self.steps.iter().map(|s| s.vd).fold(Time::ZERO, Time::max);
+        Time::new((k / (util - 1.0)).ceil() as u64)
+            .max(max_v)
+            .saturating_add(Time::ONE)
+    }
+
+    /// Certain-overload witness for the high-mode check, clamped like
+    /// [`horizon_lo`](Self::horizon_lo).
+    fn horizon_hi(&self, util: f64) -> Time {
+        let k: f64 = self
+            .hc
+            .iter()
+            .map(|&i| {
+                let s = &self.steps[i];
+                let u = s.c_hi.as_f64() / s.period.as_f64();
+                u * s.dist.as_f64() + s.c_lo.as_f64()
+            })
+            .sum();
+        let max_d = self
+            .hc
+            .iter()
+            .map(|&i| self.steps[i].dist)
+            .fold(Time::ZERO, Time::max);
+        Time::new((k / (util - 1.0)).ceil() as u64)
+            .max(max_d)
+            .saturating_add(Time::ONE)
+    }
+}
+
+/// Which demand bound a descent evaluates.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Lo,
+    Hi,
+}
+
+/// The busy-window QPA start `ceil(K / (1 − U))`, or `None` when it is
+/// not representable (the typed early-reject of the satellite fix:
+/// callers return [`DemandCheck::Unbounded`] instead of descending from
+/// a saturated horizon).
+fn qpa_start(k: f64, util: f64) -> Option<u64> {
+    let bound = (k / (1.0 - util)).ceil();
+    if bound.is_finite() && bound < MAX_QPA_START {
+        Some(bound as u64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsched_model::Task;
+
+    fn vd(task: Task, v: u64) -> VdTask {
+        VdTask {
+            task,
+            vd: Time::new(v),
+        }
+    }
+
+    fn check_against_reference(kernel: &mut DemandKernel) {
+        let tasks = kernel.assignment().to_vec();
+        assert_eq!(
+            kernel.check_lo(),
+            dbf::reference::check_lo_mode(&tasks),
+            "lo diverged on {tasks:?}"
+        );
+        assert_eq!(
+            kernel.check_hi(),
+            dbf::reference::check_hi_mode(&tasks),
+            "hi diverged on {tasks:?}"
+        );
+        // The boolean fast path agrees with the exact check.
+        assert_eq!(
+            kernel.lo_feasible(),
+            dbf::reference::check_lo_mode(&tasks).is_ok()
+        );
+    }
+
+    #[test]
+    fn task_demand_matches_dbf_pointwise() {
+        let cases = [
+            VdTask::untightened(Task::lo(0, 10, 3).unwrap()),
+            vd(Task::hi(1, 10, 3, 6).unwrap(), 5),
+            vd(Task::hi_constrained(2, 20, 2, 6, 15).unwrap(), 9),
+            VdTask::untightened(Task::hi(3, 12, 2, 2).unwrap()),
+        ];
+        for vt in cases {
+            let step = TaskDemand::new(&vt);
+            for t in 0..120 {
+                let t = Time::new(t);
+                assert_eq!(step.lo_at(t), dbf::dbf_lo(&vt, t), "lo t={t} {vt:?}");
+                if vt.task.criticality().is_high() {
+                    assert_eq!(step.hi_at(t), dbf::dbf_hi(&vt, t), "hi t={t} {vt:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_sequence_stays_reference_identical() {
+        let t0 = Task::hi(0, 10, 2, 4).unwrap();
+        let t1 = Task::lo(1, 12, 3).unwrap();
+        let t2 = Task::hi_constrained(2, 20, 3, 7, 16).unwrap();
+        let mut kernel = DemandKernel::new();
+        kernel.push_task(VdTask::untightened(t0));
+        check_against_reference(&mut kernel);
+        kernel.push_task(VdTask::untightened(t1));
+        check_against_reference(&mut kernel);
+        kernel.push_task(VdTask::untightened(t2));
+        check_against_reference(&mut kernel);
+        // Tighten, loosen, re-tighten: memo deltas must stay exact and
+        // the resume logic must only fire when sound.
+        for v in [8u64, 5, 3, 6, 2, 9, 4] {
+            kernel.replace_vd(0, Time::new(v.min(10)));
+            check_against_reference(&mut kernel);
+            kernel.replace_vd(2, Time::new((v + 3).min(16)));
+            check_against_reference(&mut kernel);
+        }
+        kernel.pop_task();
+        check_against_reference(&mut kernel);
+        kernel.push_task(vd(t2, 9));
+        check_against_reference(&mut kernel);
+    }
+
+    #[test]
+    fn reseed_preserves_memo_exactness() {
+        let tasks = [
+            vd(Task::hi(0, 10, 2, 5).unwrap(), 6),
+            VdTask::untightened(Task::lo(1, 15, 4).unwrap()),
+            vd(Task::hi(2, 25, 3, 8).unwrap(), 12),
+        ];
+        let mut kernel = DemandKernel::new();
+        kernel.load(&tasks);
+        let _ = kernel.check_lo();
+        let _ = kernel.check_hi();
+        kernel.reseed(|t| t.deadline());
+        check_against_reference(&mut kernel);
+        kernel.reseed(|t| {
+            if t.criticality().is_high() {
+                (t.deadline() - (t.wcet_hi() - t.wcet_lo())).max(t.wcet_lo())
+            } else {
+                t.deadline()
+            }
+        });
+        check_against_reference(&mut kernel);
+    }
+
+    #[test]
+    fn counters_observe_resume_and_anchors() {
+        // A two-HC-task set seeded with overrun slack (so violations come
+        // from descents, not the zero-window pre-check): repeated
+        // check → tighten cycles must resume the fixpoint.
+        let mut kernel = DemandKernel::new();
+        kernel.push_task(vd(Task::hi(0, 10, 2, 5).unwrap(), 7));
+        kernel.push_task(vd(Task::hi(1, 14, 3, 6).unwrap(), 11));
+        let mut vd0 = 7u64;
+        let first = kernel.check_hi();
+        assert!(
+            matches!(first, DemandCheck::Violation(t) if !t.is_zero()),
+            "{first:?}"
+        );
+        while vd0 > 2 {
+            vd0 -= 1;
+            kernel.replace_vd(0, Time::new(vd0));
+            if kernel.check_hi().is_ok() {
+                break;
+            }
+        }
+        assert!(
+            kernel.counters().resumed >= 1,
+            "no resumed fixpoints: {:?}",
+            kernel.counters()
+        );
+        // Overload the lo side so a violation is memoised, then probe
+        // the boolean path again: the anchor must answer.
+        let mut kernel = DemandKernel::new();
+        kernel.push_task(vd(Task::hi(0, 20, 5, 10).unwrap(), 5));
+        kernel.push_task(vd(Task::hi(1, 20, 5, 10).unwrap(), 5));
+        assert!(!kernel.lo_feasible());
+        assert!(!kernel.lo_feasible());
+        assert!(kernel.counters().anchor_hits >= 1);
+    }
+
+    #[test]
+    fn lifo_pop_restores_previous_answers() {
+        let base = [
+            vd(Task::hi(0, 10, 2, 4).unwrap(), 7),
+            VdTask::untightened(Task::lo(1, 20, 6).unwrap()),
+        ];
+        let mut kernel = DemandKernel::new();
+        kernel.load(&base);
+        let lo_before = kernel.check_lo();
+        let hi_before = kernel.check_hi();
+        kernel.push_task(vd(Task::hi(2, 8, 2, 5).unwrap(), 4));
+        check_against_reference(&mut kernel);
+        let popped = kernel.pop_task();
+        assert_eq!(popped.task.id().0, 2);
+        assert_eq!(kernel.check_lo(), lo_before);
+        assert_eq!(kernel.check_hi(), hi_before);
+    }
+
+    #[test]
+    fn anchors_are_bounded() {
+        let mut anchors = Anchors::default();
+        for t in 1..(ANCHOR_CAP as u64 * 4) {
+            anchors.record(Time::new(t), Time::new(t / 2));
+        }
+        assert!(anchors.entries.len() <= ANCHOR_CAP);
+        assert_eq!(anchors.violation(), None);
+        anchors.record(Time::new(500), Time::new(900));
+        assert_eq!(anchors.violation(), Some(Time::new(500)));
+        // Zero-instant samples are never anchored.
+        let mut anchors = Anchors::default();
+        anchors.record(Time::ZERO, Time::new(9));
+        assert!(anchors.entries.is_empty());
+    }
+
+    #[test]
+    fn qpa_start_rejects_unrepresentable_bounds() {
+        assert_eq!(qpa_start(10.0, 0.5), Some(20));
+        assert_eq!(qpa_start(1e19, 0.5), None);
+        assert_eq!(qpa_start(1.0, 1.0 - 1e-18), None); // 1/(1-U) → inf-ish
+        assert_eq!(qpa_start(0.0, 0.5), Some(0));
+    }
+}

@@ -83,6 +83,16 @@ pub struct AdmissionStats {
     /// (the clone-and-retest bridge, or a state whose cache was
     /// invalidated).
     pub full: u64,
+    /// QPA descents the demand kernel started cold from the busy-window
+    /// bound (EY / ECDF states; zero for the other tests).
+    pub qpa_cold: u64,
+    /// QPA fixpoints the demand kernel answered warm: resumed from the
+    /// previous violation point, or an `Ok` re-confirmed because demand
+    /// only tightened since the last check.
+    pub qpa_resumed: u64,
+    /// Low-mode feasibility checks the demand kernel rejected from a
+    /// memoised violation anchor, with no descent at all.
+    pub qpa_anchor_hits: u64,
 }
 
 impl AdmissionStats {
@@ -92,6 +102,9 @@ impl AdmissionStats {
         self.admits += other.admits;
         self.incremental += other.incremental;
         self.full += other.full;
+        self.qpa_cold += other.qpa_cold;
+        self.qpa_resumed += other.qpa_resumed;
+        self.qpa_anchor_hits += other.qpa_anchor_hits;
     }
 }
 
@@ -101,7 +114,15 @@ impl fmt::Display for AdmissionStats {
             f,
             "{} attempts, {} admits, {} incremental / {} full analyses",
             self.attempts, self.admits, self.incremental, self.full
-        )
+        )?;
+        if self.qpa_cold + self.qpa_resumed + self.qpa_anchor_hits > 0 {
+            write!(
+                f,
+                ", QPA {} cold / {} resumed / {} anchor-rejected",
+                self.qpa_cold, self.qpa_resumed, self.qpa_anchor_hits
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -474,21 +495,35 @@ mod tests {
             admits: 2,
             incremental: 1,
             full: 2,
+            ..AdmissionStats::default()
         };
         let b = AdmissionStats {
             attempts: 1,
             admits: 0,
             incremental: 1,
             full: 0,
+            qpa_cold: 5,
+            qpa_resumed: 3,
+            qpa_anchor_hits: 2,
         };
         a.merge(&b);
         assert_eq!(a.attempts, 4);
         assert_eq!(a.admits, 2);
         assert_eq!(a.incremental, 2);
         assert_eq!(a.full, 2);
+        assert_eq!(a.qpa_cold, 5);
+        assert_eq!(a.qpa_resumed, 3);
+        assert_eq!(a.qpa_anchor_hits, 2);
         let s = a.to_string();
         assert!(s.contains("4 attempts"));
         assert!(s.contains("2 incremental"));
+        assert!(s.contains("3 resumed"));
+        // Zero QPA counters stay out of the short display.
+        let plain = AdmissionStats {
+            attempts: 1,
+            ..AdmissionStats::default()
+        };
+        assert!(!plain.to_string().contains("QPA"));
     }
 
     #[test]

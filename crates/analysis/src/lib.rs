@@ -26,8 +26,9 @@
 //!   ([`IncrementalTest`] / [`AdmissionState`]): a stateful per-processor
 //!   object that remembers the committed tasks and the reusable parts of
 //!   the last analysis, so partitioning inner loops pay only for what a
-//!   candidate task adds (O(1) closed forms for EDF-VD, cached seeds and
-//!   O(1) overload rejection for EY/ECDF, warm-started response-time
+//!   candidate task adds (O(1) closed forms for EDF-VD, a warm
+//!   [`demand::DemandKernel`] with O(1) overload rejection for EY/ECDF,
+//!   warm-started response-time
 //!   fixed points for AMC). Admission verdicts are *exactly* the one-shot
 //!   verdicts on the union — incremental partitions are bit-identical to
 //!   clone-and-retest ones. Tests without a native state fall back to the
@@ -62,6 +63,7 @@
 pub mod amc;
 pub mod classic;
 pub mod dbf;
+pub mod demand;
 pub mod edfvd;
 pub mod incremental;
 pub mod vdtune;
@@ -70,6 +72,7 @@ pub mod workspace;
 pub use amc::{AmcMax, AmcRtb, AmcState, LoRta};
 pub use classic::{ClassicEdf, ClassicFp};
 pub use dbf::{DemandCheck, DemandCurve, VdTask};
+pub use demand::{DemandKernel, QpaCounters, TaskDemand};
 pub use edfvd::{EdfVd, EdfVdState};
 pub use incremental::{
     AdmissionState, AdmissionStats, CloneRetestState, IncrementalTest, OneShot, OneShotState,

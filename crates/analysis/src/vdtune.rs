@@ -26,6 +26,7 @@
 //! evaluation relies on (`ECDF ⊇ EY`, with a visible gap).
 
 use crate::dbf::{self, DemandCheck, VdTask};
+use crate::demand::DemandKernel;
 use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
 use crate::workspace::{AnalysisWorkspace, WorkspaceRef};
 use crate::SchedulabilityTest;
@@ -85,12 +86,6 @@ fn untightened(ts: &TaskSet) -> Vec<VdTask> {
     ts.iter().map(|&t| VdTask::untightened(t)).collect()
 }
 
-/// [`untightened`] into a reusable buffer (cleared first).
-fn untightened_into(ts: &TaskSet, out: &mut Vec<VdTask>) {
-    out.clear();
-    out.extend(ts.iter().map(|&t| VdTask::untightened(t)));
-}
-
 /// Seeded assignment: every HC task pre-tightened so its carry-over job has
 /// at least `C^H − C^L` slack after the switch — ordered by how early its
 /// carry-over deadline would otherwise fall (tightest first), hence
@@ -99,14 +94,8 @@ fn slack_seeded(ts: &TaskSet) -> Vec<VdTask> {
     ts.iter().map(|&t| slack_seeded_task(&t)).collect()
 }
 
-/// [`slack_seeded`] into a reusable buffer (cleared first).
-fn slack_seeded_into(ts: &TaskSet, out: &mut Vec<VdTask>) {
-    out.clear();
-    out.extend(ts.iter().map(slack_seeded_task));
-}
-
-/// The per-task slack-seeded entry (shared with the incremental state's
-/// cached prefix so seeds never diverge from the one-shot path).
+/// The per-task slack-seeded entry (shared between the one-shot starts
+/// and the incremental state's kernel reseeds, so seeds never diverge).
 fn slack_seeded_task(t: &Task) -> VdTask {
     if t.criticality().is_high() {
         let slack = t.wcet_hi() - t.wcet_lo();
@@ -186,27 +175,25 @@ fn moves_for(tasks: &[VdTask], idx: usize, t_star: Time, rich: bool, out: &mut V
     }
 }
 
-/// Greedy descent from a starting assignment, run **in place**: on success
-/// `tasks` holds the feasible assignment. `moves` and `hc_scratch` are
-/// reusable scratch for the per-round candidate moves and the high-mode
-/// check's HC subset — the tuner's only other working sets — so the
-/// whole descent allocates nothing.
-fn greedy_in(
-    tasks: &mut [VdTask],
-    effort: Effort,
-    moves: &mut Vec<Move>,
-    hc_scratch: &mut Vec<VdTask>,
-) -> bool {
-    if !dbf::check_lo_mode(tasks).is_ok() {
+/// Greedy descent over the incremental demand kernel: each round's
+/// high-mode QPA warm-resumes from the previous round's violation point
+/// (every applied move only tightens demand), each candidate move is a
+/// single [`DemandKernel::replace_vd`] delta-update, and the low-mode
+/// feasibility of a candidate is usually answered by a memoised violation
+/// anchor instead of a fresh descent. Verdicts, witnesses and applied
+/// moves are exactly those of the seed descent ([`reference`]).
+fn greedy_kernel(kernel: &mut DemandKernel, effort: Effort, moves: &mut Vec<Move>) -> bool {
+    if !kernel.lo_feasible() {
         return false;
     }
     for _ in 0..effort.max_rounds {
-        let t_star = match dbf::check_hi_mode_in(tasks, hc_scratch) {
+        let t_star = match kernel.check_hi() {
             DemandCheck::Ok => return true,
             DemandCheck::Violation(t) => t,
             DemandCheck::Unbounded => return false,
         };
         moves.clear();
+        let tasks = kernel.assignment();
         for idx in 0..tasks.len() {
             moves_for(tasks, idx, t_star, effort.rich_moves, moves);
         }
@@ -225,13 +212,13 @@ fn greedy_in(
         });
         let mut applied = false;
         for mv in moves.iter() {
-            let prev = tasks[mv.idx].vd;
-            tasks[mv.idx].vd = mv.new_vd;
-            if dbf::check_lo_mode(tasks).is_ok() {
+            let prev = kernel.assignment()[mv.idx].vd;
+            kernel.replace_vd(mv.idx, mv.new_vd);
+            if kernel.lo_feasible() {
                 applied = true;
                 break;
             }
-            tasks[mv.idx].vd = prev;
+            kernel.replace_vd(mv.idx, prev);
         }
         if !applied {
             return false;
@@ -240,26 +227,31 @@ fn greedy_in(
     false
 }
 
-/// Runs the tuner's greedy starts in the workspace's reusable buffers; on
-/// success the feasible assignment is left in `ws.vd`. Same starts, in
-/// the same order, as the allocating [`tune`] — identical verdicts.
-fn tune_in(ts: &TaskSet, effort: Effort, ws: &mut AnalysisWorkspace) -> bool {
-    // Fast structural rejections shared by every start.
+/// The structural overload rejection shared by every tuner start.
+fn overloaded(ts: &TaskSet) -> bool {
     let hi_util: f64 = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
     let lo_util: f64 = ts.utilization_lo_total();
-    if hi_util > 1.0 || lo_util > 1.0 {
+    hi_util > 1.0 || lo_util > 1.0
+}
+
+/// Runs the tuner's greedy starts over the workspace's demand kernel; on
+/// success the feasible assignment is left in the kernel. Same starts, in
+/// the same order, as the allocating [`reference`] tuner — identical
+/// verdicts and identical chosen assignments.
+fn tune_in(ts: &TaskSet, effort: Effort, ws: &mut AnalysisWorkspace) -> bool {
+    if overloaded(ts) {
         return false;
     }
-    let AnalysisWorkspace {
-        vd, vd_hc, moves, ..
-    } = ws;
-    untightened_into(ts, vd);
-    if greedy_in(vd, effort, moves, vd_hc) {
+    let AnalysisWorkspace { demand, moves, .. } = ws;
+    demand.load_untightened(ts);
+    if greedy_kernel(demand, effort, moves) {
         return true;
     }
     if effort.slack_seeded_start {
-        slack_seeded_into(ts, vd);
-        if greedy_in(vd, effort, moves, vd_hc) {
+        // Reseed in place: the kernel's demand memos survive the start
+        // switch via exact delta-updates.
+        demand.reseed(|t| slack_seeded_task(t).vd);
+        if greedy_kernel(demand, effort, moves) {
             return true;
         }
     }
@@ -269,7 +261,7 @@ fn tune_in(ts: &TaskSet, effort: Effort, ws: &mut AnalysisWorkspace) -> bool {
 fn tune(ts: &TaskSet, effort: Effort) -> Option<VdAssignment> {
     AnalysisWorkspace::with(|ws| {
         tune_in(ts, effort, ws).then(|| VdAssignment {
-            tasks: ws.vd.clone(),
+            tasks: ws.demand.assignment().to_vec(),
         })
     })
 }
@@ -386,8 +378,20 @@ impl SchedulabilityTest for Ecdf {
     }
     fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
         // Same starts, in the same order, as the allocating
-        // `tune(ECDF).or_else(tune(EY))` path.
-        tune_in(ts, ECDF_EFFORT, ws) || tune_in(ts, EY_EFFORT, ws)
+        // `tune(ECDF).or_else(tune(EY))` path. The overload pre-check
+        // runs first so a `tune_in` failure always leaves the kernel
+        // loaded with this set — the EY fallback then reseeds it back
+        // to the untightened start instead of reloading, keeping the
+        // demand memos warm across the fallback.
+        if overloaded(ts) {
+            return false;
+        }
+        if tune_in(ts, ECDF_EFFORT, ws) {
+            return true;
+        }
+        let AnalysisWorkspace { demand, moves, .. } = ws;
+        demand.reseed(|t| t.deadline());
+        greedy_kernel(demand, EY_EFFORT, moves)
     }
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
@@ -407,31 +411,38 @@ impl IncrementalTest for Ecdf {
 
 /// Incremental admission for the demand-bound tests ([`Ey`] / [`Ecdf`]).
 ///
-/// The state caches, per committed processor:
+/// The state keeps, per committed processor:
 ///
 /// * the running high-mode and low-mode utilization sums, so structurally
 ///   overloaded candidates are rejected in **O(1)** (exactly the fast
 ///   rejection `tune` performs, minus the O(n) re-summation);
-/// * the untightened and slack-seeded per-task virtual-deadline prefixes,
-///   so each tuner start appends a single entry instead of re-deriving
-///   every seed;
+/// * a **warm [`DemandKernel`]** holding the untightened assignment of
+///   the committed tasks. A probe pushes the candidate
+///   ([`DemandKernel::push_task`]), runs the greedy starts in place
+///   (reseeding between starts via exact delta-updates), then restores
+///   the untightened assignment and pops — so the kernel's demand memos
+///   survive from probe to probe, and a candidate whose low-mode demand
+///   trips a previously memoised violation anchor is rejected without
+///   any QPA descent;
 /// * the utilization summary the partitioning fit rules read.
 ///
 /// Verdicts stay exactly those of the one-shot tuner: the greedy descent
-/// itself runs unchanged on the cached seeds (its trajectory depends on
+/// itself runs unchanged on the same seeds (its trajectory depends on
 /// the full task set, so reusing a *tuned* assignment as a warm start
 /// could accept sets the one-shot heuristic rejects — which would break
-/// the bit-identical partition guarantee).
-#[derive(Debug, Clone)]
+/// the bit-identical partition guarantee). The kernel's memo and resume
+/// shortcuts never change a check's answer (see [`crate::demand`]).
+#[derive(Debug)]
 pub struct VdTuneState {
     committed: Committed,
     hi_util: f64,
     lo_util: f64,
-    untightened: Vec<VdTask>,
-    seeded: Vec<VdTask>,
     ecdf: bool,
-    /// Scratch for the per-probe tuner workspaces (the seed path cloned
-    /// the cached prefixes into fresh vectors on every probe).
+    /// The warm demand kernel: holds `untightened(committed)` between
+    /// probes; owned (not workspace-shared) so its memoised state is
+    /// never clobbered by other processors' states.
+    kernel: DemandKernel,
+    /// Shared workspace for the per-round candidate-move buffer.
     ws: WorkspaceRef,
 }
 
@@ -441,9 +452,8 @@ impl VdTuneState {
             committed: Committed::default(),
             hi_util: 0.0,
             lo_util: 0.0,
-            untightened: Vec::new(),
-            seeded: Vec::new(),
             ecdf,
+            kernel: DemandKernel::new(),
             ws,
         }
     }
@@ -453,8 +463,7 @@ impl VdTuneState {
         let ts = &self.committed.tasks;
         self.hi_util = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
         self.lo_util = ts.utilization_lo_total();
-        self.untightened = untightened(ts);
-        self.seeded = slack_seeded(ts);
+        self.kernel.load_untightened(ts);
     }
 }
 
@@ -474,38 +483,30 @@ impl AdmissionState for VdTuneState {
             return false;
         }
         // Same greedy starts, in the same order, as the one-shot
-        // `tune(ECDF).or_else(tune(EY))` / `tune(EY)` path — each start
-        // refills the shared workspace buffer from the cached prefix plus
-        // the candidate's entry instead of allocating a fresh vector.
+        // `tune(ECDF).or_else(tune(EY))` / `tune(EY)` path — over the
+        // state's warm kernel: push the candidate, tune in place,
+        // restore, pop. The memos carry across probes.
         let mut ws = self.ws.borrow_mut();
-        let AnalysisWorkspace {
-            vd, vd_hc, moves, ..
-        } = &mut *ws;
-        let untightened = &self.untightened;
-        let seeded = &self.seeded;
-        let start_untightened = |vd: &mut Vec<VdTask>| {
-            vd.clear();
-            vd.extend_from_slice(untightened);
-            vd.push(VdTask::untightened(*task));
-        };
+        let moves = &mut ws.moves;
+        let kernel = &mut self.kernel;
+        kernel.push_task(VdTask::untightened(*task));
         let ok = if self.ecdf {
-            start_untightened(vd);
-            let mut ok = greedy_in(vd, ECDF_EFFORT, moves, vd_hc);
-            if !ok {
-                vd.clear();
-                vd.extend_from_slice(seeded);
-                vd.push(slack_seeded_task(task));
-                ok = greedy_in(vd, ECDF_EFFORT, moves, vd_hc);
-            }
-            if !ok {
-                start_untightened(vd);
-                ok = greedy_in(vd, EY_EFFORT, moves, vd_hc);
-            }
-            ok
+            greedy_kernel(kernel, ECDF_EFFORT, moves)
+                || {
+                    kernel.reseed(|t| slack_seeded_task(t).vd);
+                    greedy_kernel(kernel, ECDF_EFFORT, moves)
+                }
+                || {
+                    kernel.reseed(|t| t.deadline());
+                    greedy_kernel(kernel, EY_EFFORT, moves)
+                }
         } else {
-            start_untightened(vd);
-            greedy_in(vd, EY_EFFORT, moves, vd_hc)
+            greedy_kernel(kernel, EY_EFFORT, moves)
         };
+        // Restore the between-probe invariant: untightened committed
+        // assignment (exact delta-updates keep the memos warm).
+        kernel.reseed(|t| t.deadline());
+        let _ = kernel.pop_task();
         drop(ws);
         self.committed.record(false, ok);
         ok
@@ -516,8 +517,7 @@ impl AdmissionState for VdTuneState {
             self.hi_util += task.utilization_hi();
         }
         self.lo_util += task.utilization_lo();
-        self.untightened.push(VdTask::untightened(task));
-        self.seeded.push(slack_seeded_task(&task));
+        self.kernel.push_task(VdTask::untightened(task));
         self.committed.push(task);
     }
 
@@ -541,13 +541,19 @@ impl AdmissionState for VdTuneState {
         let tasks = self.committed.take();
         self.hi_util = 0.0;
         self.lo_util = 0.0;
-        self.untightened.clear();
-        self.seeded.clear();
+        self.kernel.clear();
         tasks
     }
 
     fn stats(&self) -> AdmissionStats {
-        self.committed.stats
+        // Surface the kernel's fixpoint-reuse counters alongside the
+        // admission counters (the `mcexp --ablation` table reads these).
+        let mut stats = self.committed.stats;
+        let qpa = self.kernel.counters();
+        stats.qpa_cold = qpa.cold;
+        stats.qpa_resumed = qpa.resumed;
+        stats.qpa_anchor_hits = qpa.anchor_hits;
+        stats
     }
 }
 
@@ -563,16 +569,17 @@ pub mod reference {
     use super::*;
 
     /// The seed greedy descent: owns its working vector, allocates a move
-    /// list per call, and stable-sorts moves on the original two-key
+    /// list per call, stable-sorts moves on the original two-key
     /// comparator (the order the hot path's totalised unstable sort
-    /// reproduces exactly).
+    /// reproduces exactly), and runs the flat per-call demand checks of
+    /// [`dbf::reference`] — the full seed stack, end to end.
     fn greedy(mut tasks: Vec<VdTask>, effort: Effort) -> Option<Vec<VdTask>> {
-        if !dbf::check_lo_mode(&tasks).is_ok() {
+        if !dbf::reference::check_lo_mode(&tasks).is_ok() {
             return None;
         }
         let mut moves: Vec<Move> = Vec::new();
         for _ in 0..effort.max_rounds {
-            let t_star = match dbf::check_hi_mode(&tasks) {
+            let t_star = match dbf::reference::check_hi_mode(&tasks) {
                 DemandCheck::Ok => return Some(tasks),
                 DemandCheck::Violation(t) => t,
                 DemandCheck::Unbounded => return None,
@@ -590,7 +597,7 @@ pub mod reference {
             for mv in &moves {
                 let prev = tasks[mv.idx].vd;
                 tasks[mv.idx].vd = mv.new_vd;
-                if dbf::check_lo_mode(&tasks).is_ok() {
+                if dbf::reference::check_lo_mode(&tasks).is_ok() {
                     applied = true;
                     break;
                 }
@@ -629,6 +636,17 @@ pub mod reference {
     /// The seed ECDF verdict (ECDF starts, then the EY fallback).
     pub fn ecdf_is_schedulable(ts: &TaskSet) -> bool {
         tune(ts, ECDF_EFFORT).is_some() || tune(ts, EY_EFFORT).is_some()
+    }
+
+    /// The seed EY assignment — the tuner-chosen `{Vi}` the kernel-backed
+    /// [`Ey::tune`] must reproduce bit-identically.
+    pub fn ey_tune(ts: &TaskSet) -> Option<Vec<VdTask>> {
+        tune(ts, EY_EFFORT)
+    }
+
+    /// The seed ECDF assignment (ECDF starts, then the EY fallback).
+    pub fn ecdf_tune(ts: &TaskSet) -> Option<Vec<VdTask>> {
+        tune(ts, ECDF_EFFORT).or_else(|| tune(ts, EY_EFFORT))
     }
 }
 

@@ -22,15 +22,23 @@
 //!   run shares a single set of scratch buffers. The experiment engine
 //!   creates one handle per worker thread.
 //!
-//! Workspaces hold only *scratch*: nothing observable ever depends on a
-//! buffer's previous contents, so sharing or pooling them cannot change
-//! any verdict (the equivalence suites in `tests/` pin this).
+//! No *verdict* ever depends on a workspace buffer's previous contents,
+//! so sharing or pooling workspaces cannot change an analysis outcome
+//! (the equivalence suites in `tests/` pin this). Two caveats for
+//! maintainers: the embedded demand kernel's reuse *counters* survive
+//! `load()`/`clear()` by design (they describe the kernel's lifetime,
+//! and accumulate across whatever analyses share a pooled workspace),
+//! and warm kernel state is only *useful* when it describes one
+//! processor's committed set — which is why `VdTuneState` owns a
+//! private kernel instead of sharing `ws.demand` (a shared one would be
+//! clobbered between probes; verdicts would stay correct, but the
+//! probe-to-probe memo reuse would silently vanish).
 //!
 //! [`SchedulabilityTest::is_schedulable`]: crate::SchedulabilityTest::is_schedulable
 //! [`SchedulabilityTest::admission_state_in`]: crate::SchedulabilityTest::admission_state_in
 
 use crate::amc::{AmcScratch, CandStream, HcSlot};
-use crate::dbf::VdTask;
+use crate::demand::DemandKernel;
 use crate::vdtune::Move;
 use mcsched_model::Task;
 use std::cell::{RefCell, RefMut};
@@ -58,10 +66,10 @@ pub struct AnalysisWorkspace {
     /// The one-shot AMC analysis (order / responses) — the workspace path
     /// runs exactly the incremental layer's `analyze_into` over it.
     pub(crate) amc: AmcScratch,
-    /// Virtual-deadline assignment under tuning (EY / ECDF).
-    pub(crate) vd: Vec<VdTask>,
-    /// HC-only subset scratch for the high-mode demand check (EY / ECDF).
-    pub(crate) vd_hc: Vec<VdTask>,
+    /// The incremental demand kernel: the virtual-deadline assignment
+    /// under analysis plus its memoised QPA state (EY / ECDF, classic
+    /// EDF, and the public one-shot demand checks).
+    pub(crate) demand: DemandKernel,
     /// Candidate tightening moves of one greedy round (EY / ECDF).
     pub(crate) moves: Vec<Move>,
 }

@@ -10,10 +10,15 @@
 //!   acceptance criterion of the zero-allocation milestone): the retained
 //!   seed implementation (materialise + sort + dedup candidates, per-call
 //!   vectors) vs the streaming workspace path, verdicts asserted
-//!   bit-identical before any measurement.
+//!   bit-identical before any measurement;
+//! * `vdtune_kernel` — the EY / ECDF tuners: the retained seed stack
+//!   (flat per-call QPA from the busy-window bound) vs the incremental
+//!   demand kernel (warm-resumed fixpoints + memoised violation
+//!   anchors), verdicts asserted bit-identical before any measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcsched_analysis::amc::reference;
+use mcsched_analysis::vdtune::reference as vd_reference;
 use mcsched_analysis::{AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest};
 use mcsched_bench::{fixture_sets, midload_point, BENCH_SEED};
 use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
@@ -117,5 +122,91 @@ fn bench_amcmax_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tests, bench_amcmax_streaming);
+/// Generator-shaped uniprocessor-load sets for the tuner bench: the same
+/// shape the EY/ECDF tests see inside the partitioning inner loop, with
+/// enough HC overrun that the greedy descent iterates (one-round accepts
+/// would measure only the prelude).
+fn tuner_sets() -> Vec<TaskSet> {
+    let point = GridPoint {
+        u_hh: 0.45,
+        u_hl: 0.2,
+        u_ll: 0.25,
+    };
+    let mut spec = TaskSetSpec::paper_defaults(1, point, DeadlineModel::Implicit);
+    spec.n_min = 6;
+    spec.n_max = 24;
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x5eed);
+    let mut sets = Vec::new();
+    let mut guard = 0;
+    while sets.len() < 32 && guard < 800 {
+        guard += 1;
+        if let Ok(ts) = spec.generate(&mut rng) {
+            sets.push(ts);
+        }
+    }
+    assert!(sets.len() >= 24, "only {} tuner sets", sets.len());
+    sets
+}
+
+fn bench_vdtune_kernel(c: &mut Criterion) {
+    let sets = tuner_sets();
+    // Kernel and seed stack must agree set-by-set before anything is
+    // timed (this is what `cargo bench -- --test` checks in CI).
+    let mut ws = AnalysisWorkspace::new();
+    for ts in &sets {
+        assert_eq!(
+            Ey::new().is_schedulable_in(ts, &mut ws),
+            vd_reference::ey_is_schedulable(ts),
+            "EY kernel/seed divergence on an n={} set",
+            ts.len()
+        );
+        assert_eq!(
+            Ecdf::new().is_schedulable_in(ts, &mut ws),
+            vd_reference::ecdf_is_schedulable(ts),
+            "ECDF kernel/seed divergence on an n={} set",
+            ts.len()
+        );
+    }
+    let mut group = c.benchmark_group("vdtune_kernel");
+    group.bench_with_input(BenchmarkId::new("EY", "reference"), &sets, |b, sets| {
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| vd_reference::ey_is_schedulable(std::hint::black_box(ts)))
+                .count()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("EY", "kernel"), &sets, |b, sets| {
+        let test = Ey::new();
+        let mut ws = AnalysisWorkspace::new();
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                .count()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("ECDF", "reference"), &sets, |b, sets| {
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| vd_reference::ecdf_is_schedulable(std::hint::black_box(ts)))
+                .count()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("ECDF", "kernel"), &sets, |b, sets| {
+        let test = Ecdf::new();
+        let mut ws = AnalysisWorkspace::new();
+        b.iter(|| {
+            sets.iter()
+                .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tests,
+    bench_amcmax_streaming,
+    bench_vdtune_kernel
+);
 criterion_main!(benches);

@@ -111,21 +111,30 @@ pub fn admission_profile(
 }
 
 /// Renders admission-profile rows as a markdown table.
+///
+/// The three `qpa *` columns surface the demand kernel's fixpoint reuse
+/// (EY / ECDF states): descents started cold from the busy-window bound,
+/// checks answered warm from the previous fixpoint, and low-mode probes
+/// rejected by a memoised violation anchor with no descent at all.
 pub fn render_admission(rows: &[AdmissionRow]) -> String {
     let mut out = String::from(
-        "| algorithm | sets | accepted | attempts | admits | incremental | full |\n\
-         |----|----|----|----|----|----|----|\n",
+        "| algorithm | sets | accepted | attempts | admits | incremental | full \
+         | qpa cold | qpa resumed | qpa anchor |\n\
+         |----|----|----|----|----|----|----|----|----|----|\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             r.algorithm,
             r.sets,
             r.accepted,
             r.stats.attempts,
             r.stats.admits,
             r.stats.incremental,
-            r.stats.full
+            r.stats.full,
+            r.stats.qpa_cold,
+            r.stats.qpa_resumed,
+            r.stats.qpa_anchor_hits
         ));
     }
     out
@@ -181,9 +190,19 @@ mod tests {
             if r.algorithm.contains("EDF-VD") {
                 assert_eq!(r.stats.full, 0, "{}", r.algorithm);
             }
+            // The EY/ECDF demand kernel reports its fixpoint reuse;
+            // any tuner activity at all implies cold descents ran.
+            if r.algorithm.ends_with("-EY") || r.algorithm.ends_with("-ECDF") {
+                assert!(
+                    r.stats.qpa_cold > 0,
+                    "{}: no QPA activity recorded",
+                    r.algorithm
+                );
+            }
         }
         let table = render_admission(&rows);
         assert!(table.contains("incremental"));
+        assert!(table.contains("qpa resumed"));
     }
 
     #[test]

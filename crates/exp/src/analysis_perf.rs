@@ -6,11 +6,16 @@
 //! is judged twice:
 //!
 //! * **reference** — the retained seed implementation: per-call
-//!   allocating vectors, and for AMC-max the materialise + sort + dedup
-//!   candidate enumeration ([`mcsched_analysis::amc::reference`]);
+//!   allocating vectors, for AMC-max the materialise + sort + dedup
+//!   candidate enumeration ([`mcsched_analysis::amc::reference`]), and
+//!   for EY / ECDF the flat per-call QPA stack
+//!   ([`mcsched_analysis::vdtune::reference`] over
+//!   [`mcsched_analysis::dbf::reference`]);
 //! * **workspace** — the hot path:
 //!   [`SchedulabilityTest::is_schedulable_in`] over one reused
-//!   [`AnalysisWorkspace`], streaming AMC-max candidates.
+//!   [`AnalysisWorkspace`]: streaming AMC-max candidates, and the
+//!   incremental demand kernel (warm-resumed QPA fixpoints, memoised
+//!   violation anchors) behind the EY / ECDF tuners.
 //!
 //! Every verdict pair is **asserted equal** before it counts — a
 //! divergence panics, which is exactly what the `perf-analysis` CI job

@@ -7,13 +7,20 @@
 //! an allocation delta of **zero** over many repetitions. The binary
 //! holds a single `#[test]` so no concurrent test can pollute the
 //! counter.
+//!
+//! The scenarios cover the incremental demand kernel explicitly: the
+//! EY / ECDF one-shot judgements below run multi-round greedy descents
+//! whose high-mode QPA warm-resumes and whose admission states keep a
+//! warm kernel across probes — all of it allocation-free once the
+//! anchor/snapshot buffers reach their (bounded) high-water mark.
 
 // The counting allocator is the one place the workspace needs `unsafe`:
 // a thin pass-through to `System` with a relaxed atomic counter.
 #![allow(unsafe_code)]
 
 use mcsched::analysis::{
-    AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest, WorkspaceRef,
+    AmcMax, AmcRtb, AnalysisWorkspace, ClassicEdf, Ecdf, EdfVd, Ey, SchedulabilityTest,
+    WorkspaceRef,
 };
 use mcsched::model::{Task, TaskSet};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -125,6 +132,61 @@ fn assert_zero_alloc_one_shot(test: &dyn SchedulabilityTest, sets: &[TaskSet]) {
     );
 }
 
+/// Asserts zero allocations across warm QPA resumes: a tuning-heavy set
+/// (every HC task needs several tightening rounds) judged repeatedly
+/// through one workspace, plus an admission state whose stats must show
+/// the kernel actually resumed fixpoints while staying allocation-free.
+fn assert_zero_alloc_warm_qpa() {
+    // Three overrunning HC tasks: the untightened start violates at the
+    // switch and the greedy descent iterates check → tighten rounds, so
+    // every judgement exercises the kernel's warm-resume path.
+    let ts = TaskSet::try_from_tasks(vec![
+        Task::hi(0, 12, 2, 6).unwrap(),
+        Task::hi(1, 20, 3, 9).unwrap(),
+        Task::hi(2, 33, 4, 11).unwrap(),
+        Task::lo(3, 25, 4).unwrap(),
+    ])
+    .unwrap();
+    let ecdf = Ecdf::new();
+    let mut ws = AnalysisWorkspace::new();
+    let _ = ecdf.is_schedulable_in(&ts, &mut ws); // warm-up
+    let allocs = count_allocations(|| {
+        for _ in 0..32 {
+            std::hint::black_box(ecdf.is_schedulable_in(std::hint::black_box(&ts), &mut ws));
+        }
+    });
+    assert_eq!(allocs, 0, "warm QPA resume allocated {allocs} times");
+
+    // The admission state's warm kernel: repeated probes must both reuse
+    // fixpoints (observable in the stats) and allocate nothing.
+    let ws = WorkspaceRef::new();
+    let mut state = ecdf.admission_state_in(&ws);
+    for t in ts.iter() {
+        if state.try_admit(t) {
+            state.commit(*t);
+        }
+    }
+    // A light LC probe: it passes the O(1) structural pre-reject, so
+    // every probe re-runs the greedy tuner over the warm kernel.
+    let probe = Task::lo(90, 30, 2).unwrap();
+    let _ = state.try_admit(&probe); // warm-up
+    let before = state.stats();
+    let allocs = count_allocations(|| {
+        for _ in 0..64 {
+            std::hint::black_box(state.try_admit(std::hint::black_box(&probe)));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "admission probes with warm kernel allocated {allocs} times"
+    );
+    let after = state.stats();
+    assert!(
+        after.qpa_resumed > before.qpa_resumed,
+        "probes did not resume any fixpoint: {before:?} → {after:?}"
+    );
+}
+
 #[test]
 fn admission_and_one_shot_paths_are_allocation_free() {
     let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
@@ -149,4 +211,10 @@ fn admission_and_one_shot_paths_are_allocation_free() {
         assert_zero_alloc_admission(test.as_ref());
         assert_zero_alloc_one_shot(test.as_ref(), &sets);
     }
+    // The classic EDF baselines project through the demand kernel; they
+    // have no native admission state (the clone-and-retest bridge
+    // allocates by design), so only the one-shot path is pinned.
+    assert_zero_alloc_one_shot(&ClassicEdf::own_level(), &sets);
+    assert_zero_alloc_one_shot(&ClassicEdf::lo_mode(), &sets);
+    assert_zero_alloc_warm_qpa();
 }
