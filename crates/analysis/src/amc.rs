@@ -688,6 +688,10 @@ impl IncrementalTest for AmcRtb {
     fn new_state(&self) -> AmcState {
         AmcState::with_workspace(self.variant(), WorkspaceRef::new())
     }
+
+    fn new_state_in(&self, ws: &WorkspaceRef) -> AmcState {
+        AmcState::with_workspace(self.variant(), ws.clone())
+    }
 }
 
 /// The AMC-max schedulability test (the variant the DATE 2017 paper uses
@@ -750,6 +754,10 @@ impl IncrementalTest for AmcMax {
 
     fn new_state(&self) -> AmcState {
         AmcState::with_workspace(AmcVariant::Max, WorkspaceRef::new())
+    }
+
+    fn new_state_in(&self, ws: &WorkspaceRef) -> AmcState {
+        AmcState::with_workspace(AmcVariant::Max, ws.clone())
     }
 }
 

@@ -208,6 +208,67 @@ pub trait IncrementalTest: SchedulabilityTest {
 
     /// Creates an empty per-processor state.
     fn new_state(&self) -> Self::State;
+
+    /// As [`new_state`](IncrementalTest::new_state), sharing the caller's
+    /// analysis workspace for scratch buffers — a *cluster* of states (one
+    /// per processor, queried one at a time) reuses the same buffers
+    /// instead of allocating per state. Verdicts are identical; the
+    /// default ignores `ws` for tests whose state needs no scratch.
+    fn new_state_in(&self, ws: &crate::WorkspaceRef) -> Self::State {
+        let _ = ws;
+        self.new_state()
+    }
+}
+
+/// The **session-facing** admission surface: owning (`'static`) admission
+/// states for long-lived clusters.
+///
+/// [`SchedulabilityTest::admission_state`] returns a state that *borrows*
+/// the test — perfect for the partitioning inner loop, useless for a
+/// service session that must own its per-processor states across
+/// requests. `SessionTest` closes that gap: every [`IncrementalTest`]
+/// whose typed state is owning (all five native tests, plus any
+/// [`OneShot`]-bridged test) can mint boxed states with no borrowed
+/// lifetime, so a session struct can hold the states directly.
+///
+/// # Example
+///
+/// ```
+/// use mcsched_model::Task;
+/// use mcsched_analysis::{AdmissionState, Ecdf, SessionTest};
+///
+/// # fn main() -> Result<(), mcsched_model::ModelError> {
+/// // An owning state: no borrow of the test survives this call.
+/// let mut state: Box<dyn AdmissionState> = Ecdf::new().owned_admission_state();
+/// let t = Task::hi(0, 10, 2, 4)?;
+/// assert!(state.try_admit(&t));
+/// state.commit(t);
+/// assert_eq!(state.tasks().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait SessionTest: SchedulabilityTest {
+    /// Creates an owning per-processor admission state.
+    fn owned_admission_state(&self) -> Box<dyn AdmissionState>;
+
+    /// As [`owned_admission_state`](SessionTest::owned_admission_state),
+    /// with all states minted from one call site sharing the given
+    /// workspace's scratch buffers (see [`IncrementalTest::new_state_in`]).
+    fn owned_admission_state_in(&self, ws: &crate::WorkspaceRef) -> Box<dyn AdmissionState>;
+}
+
+impl<T> SessionTest for T
+where
+    T: IncrementalTest,
+    T::State: 'static,
+{
+    fn owned_admission_state(&self) -> Box<dyn AdmissionState> {
+        Box::new(self.new_state())
+    }
+
+    fn owned_admission_state_in(&self, ws: &crate::WorkspaceRef) -> Box<dyn AdmissionState> {
+        Box::new(self.new_state_in(ws))
+    }
 }
 
 /// The committed contents shared by every admission state: the task set,

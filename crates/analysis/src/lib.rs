@@ -76,6 +76,7 @@ pub use demand::{DemandKernel, QpaCounters, TaskDemand};
 pub use edfvd::{EdfVd, EdfVdState};
 pub use incremental::{
     AdmissionState, AdmissionStats, CloneRetestState, IncrementalTest, OneShot, OneShotState,
+    SessionTest,
 };
 pub use vdtune::{Ecdf, Ey, VdAssignment, VdTuneState};
 pub use workspace::{AnalysisWorkspace, PooledWorkspace, WorkspaceRef};

@@ -329,6 +329,10 @@ impl IncrementalTest for Ey {
     fn new_state(&self) -> VdTuneState {
         VdTuneState::with_workspace(false, WorkspaceRef::new())
     }
+
+    fn new_state_in(&self, ws: &WorkspaceRef) -> VdTuneState {
+        VdTuneState::with_workspace(false, ws.clone())
+    }
 }
 
 /// The ECDF demand-bound test (Easwaran, RTSS 2013 style).
@@ -406,6 +410,10 @@ impl IncrementalTest for Ecdf {
 
     fn new_state(&self) -> VdTuneState {
         VdTuneState::with_workspace(true, WorkspaceRef::new())
+    }
+
+    fn new_state_in(&self, ws: &WorkspaceRef) -> VdTuneState {
+        VdTuneState::with_workspace(true, ws.clone())
     }
 }
 

@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod cluster;
 mod partition;
 pub mod presets;
 pub mod registry;
 mod strategy;
 
 pub use algorithm::{MultiprocessorTest, PartitionedAlgorithm};
+pub use cluster::{AdmitError, ClusterSession};
 pub use partition::{verify_partition, Partition, PartitionError};
 pub use registry::{AlgoBox, AlgorithmRegistry, AlgorithmSpec, RegistryError, TestName};
 pub use strategy::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy, StrategyBuilder};

@@ -200,6 +200,28 @@ impl AlgorithmSpec {
         }
     }
 
+    /// Opens a live [`ClusterSession`](crate::ClusterSession) over `m`
+    /// processors: one persistent admission state per processor for this
+    /// spec's test, placed by this spec's fit rules. Where
+    /// [`AlgorithmSpec::build`] judges frozen task sets,
+    /// `open_cluster` serves a *stream* of admit/remove/query requests
+    /// against the same cluster — the admission-control-service entry
+    /// point.
+    ///
+    /// All `m` states share one analysis workspace; the session is
+    /// single-threaded (see [`ClusterSession`](crate::ClusterSession)).
+    pub fn open_cluster(&self, m: usize) -> crate::ClusterSession {
+        use crate::cluster::owned_states;
+        let states = match self.test {
+            TestName::EdfVd => owned_states(&EdfVd::new(), m),
+            TestName::Ey => owned_states(&Ey::new(), m),
+            TestName::Ecdf => owned_states(&Ecdf::new(), m),
+            TestName::AmcRtb => owned_states(&AmcRtb::new(), m),
+            TestName::AmcMax => owned_states(&AmcMax::new(), m),
+        };
+        crate::ClusterSession::from_parts(self.name(), self.strategy.clone(), states)
+    }
+
     /// Reconstructs a spec from a parsed JSON tree (the inverse of the
     /// derived `Serialize`; the offline serde stub provides no typed
     /// deserialization, so the mapping is explicit here).
@@ -442,6 +464,21 @@ impl AlgorithmRegistry {
     /// Fails on the first unknown name (see [`AlgorithmRegistry::parse`]).
     pub fn resolve(&self, names: &[&str]) -> Result<Vec<AlgoBox>, RegistryError> {
         names.iter().map(|n| self.parse(n)).collect()
+    }
+
+    /// Parses a display name and opens a live
+    /// [`ClusterSession`](crate::ClusterSession) over `m` processors
+    /// (see [`AlgorithmSpec::open_cluster`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`AlgorithmRegistry::spec`].
+    pub fn open_session(
+        &self,
+        name: &str,
+        m: usize,
+    ) -> Result<crate::ClusterSession, RegistryError> {
+        self.spec(name).map(|spec| spec.open_cluster(m))
     }
 }
 

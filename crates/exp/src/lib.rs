@@ -23,16 +23,20 @@
 //! lists resolved through `mcsched_core::AlgorithmRegistry`), and every
 //! experiment loop runs on the shared batch [`engine`] (deterministic
 //! per-item RNG streams, sharded workers, streaming aggregators — the
-//! only place in the workspace that spawns threads).
+//! shared worker-pool substrate; the [`server`] accept pool is the only
+//! other thread spawner in the workspace).
 //!
-//! The binary `mcexp` drives everything, including the JSONL
-//! schedulability service ([`service`]):
+//! The binary `mcexp` drives everything, including the one-shot JSONL
+//! verdict stream ([`service`]) and the persistent admission-control
+//! server ([`server`] + [`protocol`], benchmarked by [`bench_service`]):
 //!
 //! ```text
-//! mcexp --fig 3 --sets 200 --seed 42 --out results/
-//! mcexp --headline --sets 500
-//! mcexp --ablation
+//! mcexp sweep --fig 3 --sets 200 --seed 42 --out results/
+//! mcexp headline --sets 500
+//! mcexp ablation
 //! mcexp eval --input requests.jsonl   # JSON verdicts on stdout
+//! mcexp serve --addr 127.0.0.1:7070   # protocol-v1 session server
+//! mcexp bench-service --out BENCH_service.json
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,12 +45,15 @@
 pub mod ablation;
 pub mod algorithms;
 pub mod analysis_perf;
+pub mod bench_service;
 pub mod engine;
 pub mod figures;
 pub mod headline;
 pub mod isolation;
 pub mod perf;
+pub mod protocol;
 pub mod report;
+pub mod server;
 pub mod service;
 pub mod sweep;
 

@@ -1,14 +1,22 @@
 //! `mcexp` — regenerate the figures of the DATE 2017 UDP partitioning
-//! paper, and serve one-off schedulability requests.
+//! paper, answer one-off schedulability requests, and serve persistent
+//! admission-control sessions.
 //!
 //! ```text
-//! mcexp --fig 3 [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
-//! mcexp --fig 4 | --fig 5 | --fig 6a | --fig 6b
-//! mcexp --headline [--sets N]
-//! mcexp --ablation [--m M]
-//! mcexp --all            # everything, at the configured --sets
+//! mcexp sweep --fig 3 [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
+//! mcexp headline | ablation | isolation | all
+//! mcexp perf [--json FILE]        # partition throughput (BENCH_partition.json)
+//! mcexp analysis [--json FILE]    # per-test throughput (BENCH_analysis.json)
 //! mcexp eval [--input FILE] [--output FILE]   # JSONL request/response
+//! mcexp serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
+//!             [--max-requests N] [--allow-shutdown]
+//! mcexp bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N]
+//!                     [--pipeline K] [--burst N] [--out FILE] [--shutdown]
 //! ```
+//!
+//! The old flag spellings (`--fig`, `--headline`, `--ablation`,
+//! `--isolation`, `--all`, `--perf-json`, `--analysis-json`) still work
+//! as deprecated aliases and print a pointer to the subcommand form.
 //!
 //! Defaults: `--sets 200` (the paper uses 1000; raise it for final runs),
 //! `--seed 42`, `--threads` = available parallelism.
@@ -19,6 +27,9 @@ use mcsched_exp::ablation::{
 };
 use mcsched_exp::algorithms::perf_lineup;
 use mcsched_exp::analysis_perf::{analysis_throughput, render_analysis_perf, write_analysis_json};
+use mcsched_exp::bench_service::{
+    render_service_bench, run_service_bench, write_service_json, ServiceBenchConfig,
+};
 use mcsched_exp::figures::{
     fig3_panel, fig4_panel, fig5_panel, fig6a, fig6b, render_war_table, FIGURE_M,
 };
@@ -26,10 +37,12 @@ use mcsched_exp::headline::{headlines, render_headlines};
 use mcsched_exp::isolation::{isolation_experiment, render_isolation};
 use mcsched_exp::perf::{partition_throughput, render_perf, write_perf_json};
 use mcsched_exp::report::{render_table, write_csv};
+use mcsched_exp::server::{Server, ServerConfig};
 use mcsched_exp::service::run_eval;
 use mcsched_exp::sweep::default_threads;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Ceiling on the isolation experiment's workload count: each workload
 /// runs two full discrete-event simulations over a 20k-tick horizon, so
@@ -41,11 +54,15 @@ const MAX_ISOLATION_SETS: usize = 100;
 #[derive(Debug, Clone)]
 struct Args {
     eval: bool,
+    serve: bool,
+    bench: bool,
     input: Option<PathBuf>,
     output: Option<PathBuf>,
     fig: Option<String>,
     m_values: Vec<usize>,
+    m_explicit: bool,
     sets: usize,
+    sets_explicit: bool,
     seed: u64,
     threads: usize,
     out: Option<PathBuf>,
@@ -55,16 +72,34 @@ struct Args {
     all: bool,
     perf_json: Option<PathBuf>,
     analysis_json: Option<PathBuf>,
+    perf: bool,
+    analysis: bool,
+    json: Option<PathBuf>,
+    // serve / bench-service options
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    idle_secs: Option<u64>,
+    max_requests: Option<u64>,
+    allow_shutdown: bool,
+    algorithm: Option<String>,
+    pipeline: Option<usize>,
+    burst: Option<usize>,
+    shutdown: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         eval: false,
+        serve: false,
+        bench: false,
         input: None,
         output: None,
         fig: None,
         m_values: FIGURE_M.to_vec(),
+        m_explicit: false,
         sets: 200,
+        sets_explicit: false,
         seed: 42,
         threads: default_threads(),
         out: None,
@@ -74,9 +109,60 @@ fn parse_args() -> Result<Args, String> {
         all: false,
         perf_json: None,
         analysis_json: None,
+        perf: false,
+        analysis: false,
+        json: None,
+        addr: None,
+        workers: None,
+        queue: None,
+        idle_secs: None,
+        max_requests: None,
+        allow_shutdown: false,
+        algorithm: None,
+        pipeline: None,
+        burst: None,
+        shutdown: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+
+    // Leading bare word = subcommand. Flags-only invocations fall
+    // through to the deprecated spellings below.
+    let mut subcommand = false;
+    if let Some(first) = argv.first() {
+        subcommand = true;
+        match first.as_str() {
+            "sweep" => {}
+            "headline" => args.headline = true,
+            "ablation" => args.ablation = true,
+            "isolation" => args.isolation = true,
+            "all" => args.all = true,
+            "perf" => args.perf = true,
+            "analysis" => args.analysis = true,
+            "eval" => args.eval = true,
+            "serve" => args.serve = true,
+            "bench-service" => args.bench = true,
+            "help" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => subcommand = false,
+            other => {
+                return Err(format!(
+                    "unknown subcommand `{other}` (expected sweep, headline, ablation, \
+                     isolation, all, perf, analysis, eval, serve, or bench-service)"
+                ));
+            }
+        }
+        if subcommand {
+            i = 1;
+        }
+    }
+
+    let deprecated = |old: &str, new: &str| {
+        eprintln!("[mcexp] note: `{old}` is deprecated; use `mcexp {new}`");
+    };
+
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         argv.get(*i)
@@ -85,21 +171,27 @@ fn parse_args() -> Result<Args, String> {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "eval" if i == 0 => args.eval = true,
             "--input" => args.input = Some(PathBuf::from(value(&mut i)?)),
             "--output" => args.output = Some(PathBuf::from(value(&mut i)?)),
-            "--fig" => args.fig = Some(value(&mut i)?),
+            "--fig" => {
+                if !subcommand {
+                    deprecated("--fig", "sweep --fig");
+                }
+                args.fig = Some(value(&mut i)?);
+            }
             "--m" => {
                 args.m_values = value(&mut i)?
                     .split(',')
                     .map(|s| s.trim().parse::<usize>())
                     .collect::<Result<_, _>>()
                     .map_err(|e| format!("bad --m list: {e}"))?;
+                args.m_explicit = true;
             }
             "--sets" => {
                 args.sets = value(&mut i)?
                     .parse()
                     .map_err(|e| format!("bad --sets: {e}"))?;
+                args.sets_explicit = true;
             }
             "--seed" => {
                 args.seed = value(&mut i)?
@@ -112,14 +204,87 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
-            "--perf-json" => args.perf_json = Some(PathBuf::from(value(&mut i)?)),
-            "--analysis-json" => args.analysis_json = Some(PathBuf::from(value(&mut i)?)),
-            "--headline" => args.headline = true,
-            "--ablation" => args.ablation = true,
-            "--isolation" => args.isolation = true,
-            "--all" => args.all = true,
+            "--json" => args.json = Some(PathBuf::from(value(&mut i)?)),
+            "--perf-json" => {
+                deprecated("--perf-json", "perf --json");
+                args.perf_json = Some(PathBuf::from(value(&mut i)?));
+            }
+            "--analysis-json" => {
+                deprecated("--analysis-json", "analysis --json");
+                args.analysis_json = Some(PathBuf::from(value(&mut i)?));
+            }
+            "--headline" => {
+                if !subcommand {
+                    deprecated("--headline", "headline");
+                }
+                args.headline = true;
+            }
+            "--ablation" => {
+                if !subcommand {
+                    deprecated("--ablation", "ablation");
+                }
+                args.ablation = true;
+            }
+            "--isolation" => {
+                if !subcommand {
+                    deprecated("--isolation", "isolation");
+                }
+                args.isolation = true;
+            }
+            "--all" => {
+                if !subcommand {
+                    deprecated("--all", "all");
+                }
+                args.all = true;
+            }
+            "--addr" => args.addr = Some(value(&mut i)?),
+            "--workers" => {
+                args.workers = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                );
+            }
+            "--queue" => {
+                args.queue = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --queue: {e}"))?,
+                );
+            }
+            "--idle-secs" => {
+                args.idle_secs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --idle-secs: {e}"))?,
+                );
+            }
+            "--max-requests" => {
+                args.max_requests = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --max-requests: {e}"))?,
+                );
+            }
+            "--allow-shutdown" => args.allow_shutdown = true,
+            "--algorithm" => args.algorithm = Some(value(&mut i)?),
+            "--pipeline" => {
+                args.pipeline = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --pipeline: {e}"))?,
+                );
+            }
+            "--burst" => {
+                args.burst = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --burst: {e}"))?,
+                );
+            }
+            "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
-                println!("{}", HELP);
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -129,13 +294,29 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const HELP: &str = r#"mcexp — regenerate the DATE 2017 UDP partitioning figures
-usage: mcexp [--fig 3|4|5|6a|6b] [--headline] [--ablation] [--isolation] [--all]
-             [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
-             [--perf-json FILE]   # partition-throughput artifact (BENCH_partition.json)
-             [--analysis-json FILE]  # per-test throughput artifact (BENCH_analysis.json),
-                                     # reference vs workspace, verdicts asserted identical
-       mcexp eval [--input FILE] [--output FILE]
+const HELP: &str = r#"mcexp — the DATE 2017 UDP partitioning experiment driver
+usage: mcexp <subcommand> [options]
+
+subcommands:
+  sweep --fig 3|4|5|6a|6b   acceptance-ratio sweeps (figures of §IV)
+  headline                  the paper's headline improvement numbers
+  ablation                  strategy/AMC ablations + admission profile
+  isolation                 mode-switch isolation simulation
+  all                       every figure, headline, ablation, isolation
+  perf [--json FILE]        partition-throughput artifact (BENCH_partition.json)
+  analysis [--json FILE]    per-test throughput artifact (BENCH_analysis.json)
+  eval [--input F] [--output F]   one-shot JSONL verdicts (stdin/stdout)
+  serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
+        [--max-requests N] [--allow-shutdown]
+                            persistent admission-control server (JSONL/TCP)
+  bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N] [--seed S]
+                [--pipeline K] [--burst N] [--out FILE] [--shutdown]
+                            cold vs warm service benchmark (BENCH_service.json)
+
+shared options: --m 2,4,8  --sets N  --seed S  --threads T  --out DIR
+
+Old flag spellings (--fig/--headline/--ablation/--isolation/--all/
+--perf-json/--analysis-json) still work and print a deprecation note.
 
 eval mode: read JSONL schedulability requests (one JSON object per line,
 from --input or stdin) and stream one JSON verdict per line (to --output
@@ -147,7 +328,11 @@ with an error listing every registered name. Example request line:
 
 The verdict carries the partition witness (task ids per processor):
 
-  {"algorithm":"CU-UDP-EDF-VD","m":2,"schedulable":true,"partition":[[0],[1]],"rejected_task":null,"detail":null}"#;
+  {"type":"eval","v":1,"algorithm":"CU-UDP-EDF-VD","m":2,"schedulable":true,"partition":[[0],[1]],"rejected_task":null,"detail":null}
+
+serve mode speaks protocol v1: the same eval lines plus session verbs
+(open_session, admit, remove, query, close) with per-connection state;
+see README.md § Service."#;
 
 fn run_panel_figure(
     fig: &str,
@@ -191,6 +376,85 @@ fn run_eval_mode(args: &Args) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Runs `mcexp serve`: the persistent admission-control server. Blocks
+/// until shutdown (in-band when `--allow-shutdown`, else SIGKILL).
+fn run_serve_mode(args: &Args) -> std::io::Result<()> {
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: args.addr.clone().unwrap_or(defaults.addr),
+        workers: args.workers.unwrap_or(defaults.workers),
+        queue_depth: args.queue.unwrap_or(defaults.queue_depth),
+        max_requests: args.max_requests.unwrap_or(defaults.max_requests),
+        idle_timeout: match args.idle_secs {
+            Some(0) => None,
+            Some(secs) => Some(Duration::from_secs(secs)),
+            None => defaults.idle_timeout,
+        },
+        allow_shutdown: args.allow_shutdown,
+        ..defaults
+    };
+    let server = Server::bind(AlgorithmRegistry::standard(), config.clone())?;
+    eprintln!(
+        "[mcexp] serving protocol v1 on {} ({} worker(s), queue {}, shutdown {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth,
+        if config.allow_shutdown {
+            "in-band"
+        } else {
+            "signal-only"
+        }
+    );
+    let stats = server.run()?;
+    eprintln!(
+        "[mcexp] server stopped: {} connection(s), {} request(s), {} error(s), {} shed",
+        stats.connections, stats.requests, stats.errors, stats.overloads
+    );
+    Ok(())
+}
+
+/// Runs `mcexp bench-service`: cold vs warm throughput/latency.
+fn run_bench_service_mode(args: &Args) -> std::io::Result<()> {
+    let defaults = ServiceBenchConfig::default();
+    let config = ServiceBenchConfig {
+        addr: args.addr.clone(),
+        algorithm: args.algorithm.clone().unwrap_or(defaults.algorithm),
+        m: if args.m_explicit {
+            args.m_values.first().copied().unwrap_or(defaults.m)
+        } else {
+            defaults.m
+        },
+        sets: if args.sets_explicit {
+            args.sets
+        } else {
+            defaults.sets
+        },
+        seed: args.seed,
+        pipeline: args.pipeline.unwrap_or(defaults.pipeline),
+        burst: args.burst.unwrap_or(defaults.burst),
+        shutdown_after: args.shutdown,
+    };
+    eprintln!(
+        "[mcexp] service bench: {} m={} sets={} pipeline={} burst={} ({})",
+        config.algorithm,
+        config.m,
+        config.sets,
+        config.pipeline,
+        config.burst,
+        match &config.addr {
+            Some(addr) => format!("against {addr}"),
+            None => "in-process server".to_owned(),
+        }
+    );
+    let report = run_service_bench(&config)?;
+    println!("{}", render_service_bench(&report));
+    if let Some(path) = &args.out {
+        write_service_json(&report, path)?;
+        eprintln!("[mcexp] wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -203,6 +467,22 @@ fn main() {
     if args.eval {
         if let Err(e) = run_eval_mode(&args) {
             eprintln!("[mcexp] eval failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.serve {
+        if let Err(e) = run_serve_mode(&args) {
+            eprintln!("[mcexp] serve failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.bench {
+        if let Err(e) = run_bench_service_mode(&args) {
+            eprintln!("[mcexp] bench-service failed: {e}");
             std::process::exit(1);
         }
         return;
@@ -301,23 +581,25 @@ fn main() {
         }
     }
 
-    if let Some(path) = &args.perf_json {
+    if args.perf || args.perf_json.is_some() {
         did_something = true;
         let m = args.m_values.first().copied().unwrap_or(2);
         eprintln!("[mcexp] partition throughput m={m} sets={} ...", args.sets);
         let report = partition_throughput(m, args.sets, args.seed, &perf_lineup());
         println!("\n## Partition throughput (m = {m})\n");
         println!("{}", render_perf(&report));
-        match write_perf_json(&report, path) {
-            Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
-            Err(e) => {
-                eprintln!("[mcexp] failed to write {}: {e}", path.display());
-                std::process::exit(1);
+        if let Some(path) = args.json.as_ref().or(args.perf_json.as_ref()) {
+            match write_perf_json(&report, path) {
+                Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("[mcexp] failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
         }
     }
 
-    if let Some(path) = &args.analysis_json {
+    if args.analysis || args.analysis_json.is_some() {
         did_something = true;
         eprintln!(
             "[mcexp] analysis throughput m={:?} sets={} ...",
@@ -326,16 +608,18 @@ fn main() {
         let report = analysis_throughput(&args.m_values, args.sets, args.seed);
         println!("\n## Analysis throughput (reference vs workspace)\n");
         println!("{}", render_analysis_perf(&report));
-        match write_analysis_json(&report, path) {
-            Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
-            Err(e) => {
-                eprintln!("[mcexp] failed to write {}: {e}", path.display());
-                std::process::exit(1);
+        if let Some(path) = args.json.as_ref().or(args.analysis_json.as_ref()) {
+            match write_analysis_json(&report, path) {
+                Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("[mcexp] failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
         }
     }
 
     if !did_something {
-        println!("{}", HELP);
+        println!("{HELP}");
     }
 }

@@ -1,0 +1,899 @@
+//! The versioned JSONL wire protocol shared by `mcexp eval` (one-shot)
+//! and `mcexp serve` (persistent sessions).
+//!
+//! One JSON object per line in both directions. Every request may carry
+//! two optional envelope fields:
+//!
+//! * `"v"` — the protocol version; absent means "current". The only
+//!   version is [`PROTOCOL_VERSION`]`= 1`; anything else is answered
+//!   with a typed error so old clients fail loudly, not subtly.
+//! * `"id"` — an opaque correlation token (integer or string), echoed
+//!   verbatim on the reply — including error replies, so a pipelining
+//!   client can match failures to requests.
+//!
+//! The request kind is the `"type"` field. A line with **no** `"type"`
+//! is the legacy batch-eval shape that predates this module
+//! (`{"algorithm", "m", "tasks"}` — see [`EvalRequest`]); it keeps
+//! parsing unchanged, forever. The session verbs (`open_session`,
+//! `admit`, `remove`, `query`, `close`, `shutdown`) only make sense on a
+//! persistent connection and are rejected by the one-shot service with a
+//! pointer at `mcexp serve`.
+//!
+//! Replies always carry `"type"` (`eval`, `session`, `admit`, `remove`,
+//! `query`, `closed`, `overload`, `error`), `"v"`, and the echoed
+//! `"id"` when one was given. [`Reply::render`] and [`parse_reply`] are
+//! exact inverses, as are [`Envelope::render`] and [`parse_envelope`] —
+//! the round-trip property the protocol tests pin.
+
+use mcsched_model::{Criticality, Task, TaskId, TaskSet};
+use serde::{Serialize, Value};
+
+/// The wire protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Ceiling on the requested processor count: far above any platform the
+/// analysis targets, low enough that per-processor admission-state
+/// allocation stays trivial.
+pub const MAX_PROCESSORS: u64 = 4096;
+
+/// A client-chosen correlation token, echoed on the reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestId {
+    /// An integer id (e.g. a sequence number).
+    Num(u64),
+    /// A string id (e.g. a UUID).
+    Str(String),
+}
+
+impl RequestId {
+    fn to_value(&self) -> Value {
+        match self {
+            RequestId::Num(n) => Value::UInt(*n),
+            RequestId::Str(s) => Value::Str(s.clone()),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<RequestId> {
+        match v {
+            Value::Str(s) => Some(RequestId::Str(s.clone())),
+            other => other.as_u64().map(RequestId::Num),
+        }
+    }
+}
+
+/// A parsed batch schedulability request (the legacy line shape, and the
+/// `eval` verb of the v1 protocol).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Registry name of the algorithm to apply.
+    pub algorithm: String,
+    /// Processor count.
+    pub m: usize,
+    /// The task set to judge.
+    pub tasks: TaskSet,
+}
+
+/// One request line: the optional correlation id plus the verb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed on the reply when present.
+    pub id: Option<RequestId>,
+    /// What the client asked for.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Wraps a request with no correlation id.
+    pub fn new(request: Request) -> Self {
+        Envelope { id: None, request }
+    }
+
+    /// Wraps a request with a correlation id.
+    pub fn with_id(id: RequestId, request: Request) -> Self {
+        Envelope {
+            id: Some(id),
+            request,
+        }
+    }
+
+    /// Renders the request as one JSON line (no trailing newline) —
+    /// the client side of [`parse_envelope`].
+    pub fn render(&self) -> String {
+        let mut entries = vec![
+            (
+                "type".to_owned(),
+                Value::Str(self.request.kind().to_owned()),
+            ),
+            ("v".to_owned(), Value::UInt(PROTOCOL_VERSION)),
+        ];
+        if let Some(id) = &self.id {
+            entries.push(("id".to_owned(), id.to_value()));
+        }
+        match &self.request {
+            Request::Eval(req) => {
+                entries.push(("algorithm".to_owned(), Value::Str(req.algorithm.clone())));
+                entries.push(("m".to_owned(), Value::UInt(req.m as u64)));
+                entries.push((
+                    "tasks".to_owned(),
+                    Value::Seq(req.tasks.iter().map(task_to_value).collect()),
+                ));
+            }
+            Request::OpenSession { algorithm, m } => {
+                entries.push(("algorithm".to_owned(), Value::Str(algorithm.clone())));
+                entries.push(("m".to_owned(), Value::UInt(*m as u64)));
+            }
+            Request::Admit { task } => entries.push(("task".to_owned(), task_to_value(task))),
+            Request::Remove { task_id } => {
+                entries.push(("task_id".to_owned(), Value::UInt(u64::from(task_id.0))));
+            }
+            Request::Query { probe } => {
+                if let Some(task) = probe {
+                    entries.push(("task".to_owned(), task_to_value(task)));
+                }
+            }
+            Request::Close | Request::Shutdown => {}
+        }
+        serde_json::to_string(&Value::Map(entries)).expect("stub serialization is infallible")
+    }
+}
+
+/// The request verbs of protocol v1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Judge one frozen task set (the stateless verb; also the shape of
+    /// every pre-v1 request line).
+    Eval(EvalRequest),
+    /// Open this connection's session: a persistent
+    /// [`ClusterSession`](mcsched_core::ClusterSession) over `m`
+    /// processors. One session per connection; reopening replaces it.
+    OpenSession {
+        /// Registry name of the algorithm.
+        algorithm: String,
+        /// Processor count.
+        m: usize,
+    },
+    /// Admit one task into the session's cluster (commits on success).
+    Admit {
+        /// The arriving task.
+        task: Task,
+    },
+    /// Remove a committed task from the session's cluster.
+    Remove {
+        /// Id of the task to remove.
+        task_id: TaskId,
+    },
+    /// Inspect the session: current partition, plus a non-committing
+    /// placement probe when a task is supplied.
+    Query {
+        /// When present, answer where this task *would* go.
+        probe: Option<Task>,
+    },
+    /// Close the session and the connection.
+    Close,
+    /// Ask the server to shut down gracefully (only honoured when the
+    /// server was started with in-band shutdown enabled).
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of this verb.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Eval(_) => "eval",
+            Request::OpenSession { .. } => "open_session",
+            Request::Admit { .. } => "admit",
+            Request::Remove { .. } => "remove",
+            Request::Query { .. } => "query",
+            Request::Close => "close",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request line that could not be parsed: the message to send back,
+/// plus the correlation id when the line was well-formed enough to
+/// carry one (so even malformed requests are answered addressably).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeError {
+    /// The id to echo, when one was recovered.
+    pub id: Option<RequestId>,
+    /// What was wrong, for the in-band error reply.
+    pub message: String,
+}
+
+impl EnvelopeError {
+    fn bare(message: impl Into<String>) -> Self {
+        EnvelopeError {
+            id: None,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line (the inverse of [`Envelope::render`]).
+///
+/// # Errors
+///
+/// Returns the in-band error message, with the request's `id` attached
+/// when one was present and well-formed.
+pub fn parse_envelope(line: &str) -> Result<Envelope, EnvelopeError> {
+    let v = serde_json::parse_value(line)
+        .map_err(|e| EnvelopeError::bare(format!("malformed JSON: {e}")))?;
+    let id = match v.get("id") {
+        None => None,
+        Some(raw) => Some(RequestId::from_value(raw).ok_or_else(|| {
+            EnvelopeError::bare("`id` must be an integer or a string".to_owned())
+        })?),
+    };
+    let fail = |message: String| EnvelopeError {
+        id: id.clone(),
+        message,
+    };
+    match v.get("v") {
+        None => {}
+        Some(ver) => match ver.as_u64() {
+            Some(PROTOCOL_VERSION) => {}
+            Some(other) => {
+                return Err(fail(format!(
+                    "unsupported protocol version {other} (this server speaks v{PROTOCOL_VERSION})"
+                )))
+            }
+            None => return Err(fail("`v` must be an integer".to_owned())),
+        },
+    }
+    let kind = match v.get("type") {
+        None => "eval",
+        Some(t) => t
+            .as_str()
+            .ok_or_else(|| fail("`type` must be a string".to_owned()))?,
+    };
+    let request = match kind {
+        "eval" => Request::Eval(eval_from_value(&v).map_err(&fail)?),
+        "open_session" => {
+            let algorithm = v
+                .get("algorithm")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("open_session needs a string `algorithm`".to_owned()))?
+                .to_owned();
+            let m = parse_m(&v).map_err(&fail)?;
+            Request::OpenSession { algorithm, m }
+        }
+        "admit" => {
+            let task = v
+                .get("task")
+                .ok_or_else(|| fail("admit needs a `task` object".to_owned()))?;
+            let task = task_from_value(task).map_err(|e| fail(format!("task: {e}")))?;
+            Request::Admit { task }
+        }
+        "remove" => {
+            let raw = v
+                .get("task_id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| fail("remove needs an integer `task_id`".to_owned()))?;
+            let task_id = u32::try_from(raw)
+                .map(TaskId)
+                .map_err(|_| fail("`task_id` out of range".to_owned()))?;
+            Request::Remove { task_id }
+        }
+        "query" => {
+            let probe = match v.get("task") {
+                None => None,
+                Some(t) if t.is_null() => None,
+                Some(t) => Some(task_from_value(t).map_err(|e| fail(format!("task: {e}")))?),
+            };
+            Request::Query { probe }
+        }
+        "close" => Request::Close,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(fail(format!(
+                "unknown request type `{other}` (expected eval, open_session, admit, remove, \
+                 query, close or shutdown)"
+            )))
+        }
+    };
+    Ok(Envelope { id, request })
+}
+
+/// Parses the legacy/`eval` body fields out of a request object.
+pub(crate) fn eval_from_value(v: &Value) -> Result<EvalRequest, String> {
+    let algorithm = v
+        .get("algorithm")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `algorithm`")?
+        .to_owned();
+    let m = parse_m(v)?;
+    let tasks_value = v
+        .get("tasks")
+        .and_then(Value::as_seq)
+        .ok_or("request needs an array `tasks`")?;
+    let mut tasks = TaskSet::with_capacity(tasks_value.len());
+    for (i, tv) in tasks_value.iter().enumerate() {
+        let task = task_from_value(tv).map_err(|e| format!("tasks[{i}]: {e}"))?;
+        tasks
+            .try_push(task)
+            .map_err(|e| format!("tasks[{i}]: {e}"))?;
+    }
+    Ok(EvalRequest {
+        algorithm,
+        m,
+        tasks,
+    })
+}
+
+fn parse_m(v: &Value) -> Result<usize, String> {
+    let m = v
+        .get("m")
+        .and_then(Value::as_u64)
+        .ok_or("request needs an integer `m`")?;
+    if m == 0 {
+        return Err("`m` must be at least 1".to_owned());
+    }
+    // Partitioning allocates per-processor admission state, so an absurd
+    // `m` in one request must not be able to abort the whole stream.
+    if m > MAX_PROCESSORS {
+        return Err(format!("`m` must be at most {MAX_PROCESSORS}"));
+    }
+    usize::try_from(m).map_err(|_| "`m` out of range".to_owned())
+}
+
+/// Parses one task object (`criticality` defaults to `"LO"`, `wcet_hi`
+/// to `wcet_lo`, `deadline` to `period`).
+pub(crate) fn task_from_value(v: &Value) -> Result<Task, String> {
+    let field = |name: &str| v.get(name).and_then(Value::as_u64);
+    let id = field("id").ok_or("needs an integer `id`")?;
+    let id = u32::try_from(id).map_err(|_| "`id` out of range".to_owned())?;
+    let period = field("period").ok_or("needs an integer `period`")?;
+    let wcet_lo = field("wcet_lo").ok_or("needs an integer `wcet_lo`")?;
+    let criticality = match v.get("criticality") {
+        None => Criticality::Low,
+        Some(c) => {
+            let s = c.as_str().ok_or("`criticality` must be a string")?;
+            match s.to_ascii_uppercase().as_str() {
+                "HI" | "HIGH" | "HC" => Criticality::High,
+                "LO" | "LOW" | "LC" => Criticality::Low,
+                other => return Err(format!("unknown criticality `{other}` (use HI or LO)")),
+            }
+        }
+    };
+    let mut builder = Task::builder(id)
+        .period(period)
+        .criticality(criticality)
+        .wcet_lo(wcet_lo);
+    if let Some(wcet_hi) = field("wcet_hi") {
+        builder = builder.wcet_hi(wcet_hi);
+    }
+    if let Some(deadline) = field("deadline") {
+        builder = builder.deadline(deadline);
+    }
+    builder.try_build().map_err(|e| e.to_string())
+}
+
+/// Renders one task as its wire object (the inverse of the parser's
+/// defaulting: all fields explicit).
+pub(crate) fn task_to_value(task: &Task) -> Value {
+    Value::Map(vec![
+        ("id".to_owned(), Value::UInt(u64::from(task.id().0))),
+        ("period".to_owned(), Value::UInt(task.period().as_ticks())),
+        (
+            "criticality".to_owned(),
+            Value::Str(
+                if task.criticality().is_high() {
+                    "HI"
+                } else {
+                    "LO"
+                }
+                .to_owned(),
+            ),
+        ),
+        ("wcet_lo".to_owned(), Value::UInt(task.wcet_lo().as_ticks())),
+        ("wcet_hi".to_owned(), Value::UInt(task.wcet_hi().as_ticks())),
+        (
+            "deadline".to_owned(),
+            Value::UInt(task.deadline().as_ticks()),
+        ),
+    ])
+}
+
+// ------------------------------------------------------------- replies
+
+/// The verdict for one `eval` request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalResponse {
+    /// Echo of the requested algorithm name.
+    pub algorithm: String,
+    /// Echo of the processor count.
+    pub m: usize,
+    /// Whether the algorithm schedules the set on `m` processors.
+    pub schedulable: bool,
+    /// The witness: task ids per processor (present iff schedulable).
+    pub partition: Option<Vec<Vec<u32>>>,
+    /// The first unallocatable task (present iff not schedulable).
+    pub rejected_task: Option<u32>,
+    /// Human-readable rejection detail (present iff not schedulable).
+    pub detail: Option<String>,
+}
+
+/// The reply to `open_session`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionReply {
+    /// The resolved algorithm display name.
+    pub algorithm: String,
+    /// The session's processor count.
+    pub m: usize,
+}
+
+/// The reply to `admit`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmitReply {
+    /// Whether the task was admitted (and committed).
+    pub admitted: bool,
+    /// The processor it was placed on (present iff admitted).
+    pub processor: Option<usize>,
+    /// Echo of the task id.
+    pub task: u32,
+    /// Committed tasks in the session after this request.
+    pub tasks: usize,
+    /// Why the task was rejected (present iff not admitted).
+    pub detail: Option<String>,
+}
+
+/// The reply to `remove`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RemoveReply {
+    /// Whether the task was found and removed.
+    pub removed: bool,
+    /// The processor it was removed from (present iff removed).
+    pub processor: Option<usize>,
+    /// Echo of the task id.
+    pub task: u32,
+    /// Committed tasks in the session after this request.
+    pub tasks: usize,
+}
+
+/// The probe half of a `query` reply.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProbeReply {
+    /// Whether the probed task would be admitted right now.
+    pub fits: bool,
+    /// The processor it would land on (present iff it fits).
+    pub processor: Option<usize>,
+}
+
+/// The reply to `query`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryReply {
+    /// The session's algorithm display name.
+    pub algorithm: String,
+    /// The session's processor count.
+    pub m: usize,
+    /// Committed tasks in the session.
+    pub tasks: usize,
+    /// Task ids per processor.
+    pub partition: Vec<Vec<u32>>,
+    /// The placement probe, when the query carried a task.
+    pub probe: Option<ProbeReply>,
+}
+
+/// One reply line — always typed, versioned, and id-echoing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `{"type": "eval", ...}` — a batch verdict.
+    Eval(EvalResponse),
+    /// `{"type": "session", ...}` — the session is open.
+    Session(SessionReply),
+    /// `{"type": "admit", ...}` — an admission verdict.
+    Admit(AdmitReply),
+    /// `{"type": "remove", ...}` — a removal verdict.
+    Remove(RemoveReply),
+    /// `{"type": "query", ...}` — session state (and optional probe).
+    Query(QueryReply),
+    /// `{"type": "closed", "reason": ...}` — the connection is done
+    /// (client `close`, idle reap, or server shutdown).
+    Closed {
+        /// Why the connection is closing.
+        reason: String,
+    },
+    /// `{"type": "overload", ...}` — the server's queue is full; retry
+    /// later. This is backpressure, not failure: the request was *not*
+    /// processed.
+    Overload {
+        /// Human-readable overload notice.
+        error: String,
+    },
+    /// `{"type": "error", "error": ...}` — the request was malformed or
+    /// unserviceable; the stream keeps flowing.
+    Error {
+        /// What went wrong.
+        error: String,
+    },
+}
+
+impl Reply {
+    /// The wire name of this reply.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Reply::Eval(_) => "eval",
+            Reply::Session(_) => "session",
+            Reply::Admit(_) => "admit",
+            Reply::Remove(_) => "remove",
+            Reply::Query(_) => "query",
+            Reply::Closed { .. } => "closed",
+            Reply::Overload { .. } => "overload",
+            Reply::Error { .. } => "error",
+        }
+    }
+
+    /// A convenience error reply.
+    pub fn error(message: impl Into<String>) -> Reply {
+        Reply::Error {
+            error: message.into(),
+        }
+    }
+
+    /// Renders the reply as one JSON line (no trailing newline),
+    /// echoing `id` when present — the inverse of [`parse_reply`].
+    pub fn render(&self, id: Option<&RequestId>) -> String {
+        let mut entries = vec![
+            ("type".to_owned(), Value::Str(self.kind().to_owned())),
+            ("v".to_owned(), Value::UInt(PROTOCOL_VERSION)),
+        ];
+        if let Some(id) = id {
+            entries.push(("id".to_owned(), id.to_value()));
+        }
+        let body = match self {
+            Reply::Eval(r) => r.to_value(),
+            Reply::Session(r) => r.to_value(),
+            Reply::Admit(r) => r.to_value(),
+            Reply::Remove(r) => r.to_value(),
+            Reply::Query(r) => r.to_value(),
+            Reply::Closed { reason } => {
+                Value::Map(vec![("reason".to_owned(), Value::Str(reason.clone()))])
+            }
+            Reply::Overload { error } | Reply::Error { error } => {
+                Value::Map(vec![("error".to_owned(), Value::Str(error.clone()))])
+            }
+        };
+        if let Value::Map(body) = body {
+            entries.extend(body);
+        }
+        serde_json::to_string(&Value::Map(entries)).expect("stub serialization is infallible")
+    }
+}
+
+/// Parses one reply line into its id echo and typed body (the client
+/// side of [`Reply::render`]).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first malformed field.
+pub fn parse_reply(line: &str) -> Result<(Option<RequestId>, Reply), String> {
+    let v = serde_json::parse_value(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let id = v.get("id").and_then(RequestId::from_value);
+    let kind = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("reply needs a string `type`")?;
+    let str_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or(format!("{kind} reply needs a string `{name}`"))
+    };
+    let usize_field = |name: &str| -> Result<usize, String> {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or(format!("{kind} reply needs an integer `{name}`"))
+    };
+    let bool_field = |name: &str| -> Result<bool, String> {
+        v.get(name)
+            .and_then(Value::as_bool)
+            .ok_or(format!("{kind} reply needs a boolean `{name}`"))
+    };
+    let opt_usize = |name: &str| match v.get(name) {
+        None => None,
+        Some(x) => x.as_u64().and_then(|n| usize::try_from(n).ok()),
+    };
+    let opt_str = |name: &str| v.get(name).and_then(Value::as_str).map(str::to_owned);
+    let reply = match kind {
+        "eval" => Reply::Eval(EvalResponse {
+            algorithm: str_field("algorithm")?,
+            m: usize_field("m")?,
+            schedulable: bool_field("schedulable")?,
+            partition: match v.get("partition") {
+                None => None,
+                Some(p) if p.is_null() => None,
+                Some(p) => Some(partition_from_value(p)?),
+            },
+            rejected_task: v
+                .get("rejected_task")
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok()),
+            detail: opt_str("detail"),
+        }),
+        "session" => Reply::Session(SessionReply {
+            algorithm: str_field("algorithm")?,
+            m: usize_field("m")?,
+        }),
+        "admit" => Reply::Admit(AdmitReply {
+            admitted: bool_field("admitted")?,
+            processor: opt_usize("processor"),
+            task: u32::try_from(
+                v.get("task")
+                    .and_then(Value::as_u64)
+                    .ok_or("admit reply needs an integer `task`")?,
+            )
+            .map_err(|_| "`task` out of range".to_owned())?,
+            tasks: usize_field("tasks")?,
+            detail: opt_str("detail"),
+        }),
+        "remove" => Reply::Remove(RemoveReply {
+            removed: bool_field("removed")?,
+            processor: opt_usize("processor"),
+            task: u32::try_from(
+                v.get("task")
+                    .and_then(Value::as_u64)
+                    .ok_or("remove reply needs an integer `task`")?,
+            )
+            .map_err(|_| "`task` out of range".to_owned())?,
+            tasks: usize_field("tasks")?,
+        }),
+        "query" => Reply::Query(QueryReply {
+            algorithm: str_field("algorithm")?,
+            m: usize_field("m")?,
+            tasks: usize_field("tasks")?,
+            partition: partition_from_value(
+                v.get("partition").ok_or("query reply needs `partition`")?,
+            )?,
+            probe: match v.get("probe") {
+                None => None,
+                Some(p) if p.is_null() => None,
+                Some(p) => Some(ProbeReply {
+                    fits: p
+                        .get("fits")
+                        .and_then(Value::as_bool)
+                        .ok_or("probe needs a boolean `fits`")?,
+                    processor: p
+                        .get("processor")
+                        .and_then(Value::as_u64)
+                        .and_then(|n| usize::try_from(n).ok()),
+                }),
+            },
+        }),
+        "closed" => Reply::Closed {
+            reason: str_field("reason")?,
+        },
+        "overload" => Reply::Overload {
+            error: str_field("error")?,
+        },
+        "error" => Reply::Error {
+            error: str_field("error")?,
+        },
+        other => return Err(format!("unknown reply type `{other}`")),
+    };
+    Ok((id, reply))
+}
+
+fn partition_from_value(v: &Value) -> Result<Vec<Vec<u32>>, String> {
+    v.as_seq()
+        .ok_or("`partition` must be an array")?
+        .iter()
+        .map(|proc| {
+            proc.as_seq()
+                .ok_or_else(|| "`partition` entries must be arrays".to_owned())?
+                .iter()
+                .map(|t| {
+                    t.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| "`partition` task ids must be integers".to_owned())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hi(id: u32, t: u64, cl: u64, ch: u64) -> Task {
+        Task::hi(id, t, cl, ch).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let tasks =
+            TaskSet::try_from_tasks(vec![hi(0, 10, 2, 4), Task::lo(1, 20, 6).unwrap()]).unwrap();
+        let envelopes = [
+            Envelope::new(Request::Eval(EvalRequest {
+                algorithm: "CU-UDP-EDF-VD".to_owned(),
+                m: 2,
+                tasks,
+            })),
+            Envelope::with_id(
+                RequestId::Num(7),
+                Request::OpenSession {
+                    algorithm: "CA-UDP-ECDF".to_owned(),
+                    m: 4,
+                },
+            ),
+            Envelope::with_id(
+                RequestId::Str("a-1".to_owned()),
+                Request::Admit {
+                    task: hi(3, 30, 5, 9),
+                },
+            ),
+            Envelope::new(Request::Remove { task_id: TaskId(3) }),
+            Envelope::new(Request::Query { probe: None }),
+            Envelope::new(Request::Query {
+                probe: Some(hi(4, 40, 1, 2)),
+            }),
+            Envelope::new(Request::Close),
+            Envelope::new(Request::Shutdown),
+        ];
+        for env in envelopes {
+            let line = env.render();
+            let back = parse_envelope(&line).unwrap_or_else(|e| panic!("{line}: {}", e.message));
+            assert_eq!(back, env, "{line}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Eval(EvalResponse {
+                algorithm: "CU-UDP-EDF-VD".to_owned(),
+                m: 2,
+                schedulable: true,
+                partition: Some(vec![vec![0], vec![1]]),
+                rejected_task: None,
+                detail: None,
+            }),
+            Reply::Eval(EvalResponse {
+                algorithm: "CU-UDP-EDF-VD".to_owned(),
+                m: 1,
+                schedulable: false,
+                partition: None,
+                rejected_task: Some(4),
+                detail: Some("task 4 could not be allocated".to_owned()),
+            }),
+            Reply::Session(SessionReply {
+                algorithm: "CA-UDP-EY".to_owned(),
+                m: 4,
+            }),
+            Reply::Admit(AdmitReply {
+                admitted: true,
+                processor: Some(1),
+                task: 9,
+                tasks: 3,
+                detail: None,
+            }),
+            Reply::Admit(AdmitReply {
+                admitted: false,
+                processor: None,
+                task: 9,
+                tasks: 2,
+                detail: Some("not schedulable anywhere".to_owned()),
+            }),
+            Reply::Remove(RemoveReply {
+                removed: true,
+                processor: Some(0),
+                task: 9,
+                tasks: 1,
+            }),
+            Reply::Query(QueryReply {
+                algorithm: "CA-UDP-EY".to_owned(),
+                m: 2,
+                tasks: 2,
+                partition: vec![vec![1], vec![2]],
+                probe: Some(ProbeReply {
+                    fits: true,
+                    processor: Some(1),
+                }),
+            }),
+            Reply::Closed {
+                reason: "client close".to_owned(),
+            },
+            Reply::Overload {
+                error: "server overloaded; retry later".to_owned(),
+            },
+            Reply::error("bad request"),
+        ];
+        let ids = [
+            None,
+            Some(RequestId::Num(0)),
+            Some(RequestId::Str("x".to_owned())),
+        ];
+        for reply in &replies {
+            for id in &ids {
+                let line = reply.render(id.as_ref());
+                let (back_id, back) = parse_reply(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+                assert_eq!(&back_id, id, "{line}");
+                assert_eq!(&back, reply, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_lines_parse_as_eval() {
+        let line = r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [
+            {"id": 0, "period": 10, "criticality": "HI", "wcet_lo": 2, "wcet_hi": 4}]}"#;
+        let env = parse_envelope(line).unwrap();
+        assert_eq!(env.id, None);
+        match env.request {
+            Request::Eval(req) => {
+                assert_eq!(req.algorithm, "CU-UDP-EDF-VD");
+                assert_eq!(req.m, 2);
+                assert_eq!(req.tasks.len(), 1);
+            }
+            other => panic!("legacy line parsed as {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn version_and_id_are_enforced() {
+        let err = parse_envelope(r#"{"v": 2, "id": 5, "type": "close"}"#).unwrap_err();
+        assert_eq!(err.id, Some(RequestId::Num(5)));
+        assert!(err.message.contains("unsupported protocol version 2"));
+        let err = parse_envelope(r#"{"v": "x", "type": "close"}"#).unwrap_err();
+        assert!(err.message.contains("`v` must be an integer"));
+        let err = parse_envelope(r#"{"id": 1.5, "type": "close"}"#).unwrap_err();
+        assert!(err.message.contains("`id` must be an integer or a string"));
+        // v: 1 and both id flavours are accepted.
+        assert!(parse_envelope(r#"{"v": 1, "id": "abc", "type": "close"}"#).is_ok());
+        assert!(parse_envelope(r#"{"v": 1, "id": 3, "type": "close"}"#).is_ok());
+    }
+
+    #[test]
+    fn malformed_session_requests_keep_their_id() {
+        let cases = [
+            (
+                r#"{"id": 1, "type": "open_session", "m": 2}"#,
+                "`algorithm`",
+            ),
+            (
+                r#"{"id": 2, "type": "open_session", "algorithm": "X", "m": 0}"#,
+                "at least 1",
+            ),
+            (r#"{"id": 3, "type": "admit"}"#, "`task`"),
+            (
+                r#"{"id": 4, "type": "admit", "task": {"id": 0}}"#,
+                "`period`",
+            ),
+            (r#"{"id": 5, "type": "remove"}"#, "`task_id`"),
+            (r#"{"id": 6, "type": "warp"}"#, "unknown request type"),
+        ];
+        for (i, (line, needle)) in cases.iter().enumerate() {
+            let err = parse_envelope(line).unwrap_err();
+            assert_eq!(err.id, Some(RequestId::Num(i as u64 + 1)), "{line}");
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn error_reply_echoes_id() {
+        let id = RequestId::Str("req-9".to_owned());
+        let line = Reply::error("nope").render(Some(&id));
+        assert!(
+            line.starts_with(r#"{"type":"error","v":1,"id":"req-9""#),
+            "{line}"
+        );
+        let (back_id, reply) = parse_reply(&line).unwrap();
+        assert_eq!(back_id, Some(id));
+        assert_eq!(reply, Reply::error("nope"));
+    }
+
+    #[test]
+    fn task_wire_defaults_round_trip() {
+        // Defaults applied on parse are made explicit on render.
+        let sparse = r#"{"id": 7, "period": 20, "wcet_lo": 3}"#;
+        let task = task_from_value(&serde_json::parse_value(sparse).unwrap()).unwrap();
+        assert!(task.criticality().is_low());
+        assert_eq!(task.wcet_hi().as_ticks(), 3);
+        assert_eq!(task.deadline().as_ticks(), 20);
+        let rendered = task_to_value(&task);
+        let back = task_from_value(&rendered).unwrap();
+        assert_eq!(back, task);
+    }
+}

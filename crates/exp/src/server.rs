@@ -1,0 +1,723 @@
+//! The persistent admission-control server behind `mcexp serve`.
+//!
+//! Where `mcexp eval` judges frozen task sets one line at a time, the
+//! server keeps **sessions**: each connection may open a live
+//! [`ClusterSession`] (an `m`-processor cluster with warm per-processor
+//! admission states) and stream `admit` / `remove` / `query` requests
+//! against it. Verdicts are incremental — and bit-identical to what the
+//! one-shot analysis would say about the same committed set, which is
+//! the admission layer's equivalence guarantee.
+//!
+//! The wire format is the newline-delimited JSON of
+//! [`protocol`](crate::protocol) (versioned, id-echoing). The transport
+//! is plain TCP via the vendored [`netframe`] layer.
+//!
+//! ## Concurrency and backpressure
+//!
+//! One acceptor thread hands connections to a fixed pool of worker
+//! threads over a bounded queue. The pool never grows and the queue
+//! never blocks the acceptor: when every worker is busy and the queue is
+//! full, new connections are *shed* with a typed
+//! `{"type": "overload"}` reply and closed — callers see explicit
+//! backpressure instead of unbounded latency. Sessions hold `Rc`-based
+//! analysis scratch, so each lives entirely on the worker thread that
+//! serves its connection.
+//!
+//! ## Lifecycle
+//!
+//! * per-connection request caps and task caps bound any one client's
+//!   footprint ([`ServerConfig`]);
+//! * connections idle past [`ServerConfig::idle_timeout`] are reaped
+//!   with a `{"type": "closed", "reason": "idle timeout"}` notice;
+//! * [`ServerHandle::shutdown`] (or an in-band `shutdown` request, when
+//!   enabled) stops the acceptor, drains queued connections, lets
+//!   in-flight requests finish, and returns the run's totals.
+
+use crate::protocol::{
+    parse_envelope, AdmitReply, ProbeReply, QueryReply, RemoveReply, Reply, Request, RequestId,
+    SessionReply,
+};
+use crate::service::evaluate_request;
+use mcsched_core::{AlgorithmRegistry, ClusterSession};
+use netframe::{wake, write_frame, Bounded, FrameError, FrameReader, PushError, ShutdownFlag};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Tuning knobs for [`Server`]. `Default` is sized for a local service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded handoff queue depth; connections beyond `workers +
+    /// queue_depth` are shed with an overload reply.
+    pub queue_depth: usize,
+    /// Hard cap on one request line, in bytes (oversized frames are
+    /// answered with an error and skipped).
+    pub max_frame_len: usize,
+    /// Requests served per connection before it is closed.
+    pub max_requests: u64,
+    /// Largest cluster (`m`) a session may open.
+    pub max_session_m: usize,
+    /// Most tasks a session may hold committed at once.
+    pub max_session_tasks: usize,
+    /// Reap connections idle this long (`None` disables reaping).
+    pub idle_timeout: Option<Duration>,
+    /// Honour the in-band `shutdown` request (for tests and CI; off by
+    /// default so a client cannot stop a shared server).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame_len: 64 * 1024,
+            max_requests: 1_000_000,
+            max_session_m: 1024,
+            max_session_tasks: 100_000,
+            idle_timeout: Some(Duration::from_secs(30)),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Totals for one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Non-blank request lines served (including errored ones).
+    pub requests: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// `true` when this connection asked for (and was allowed) a server
+    /// shutdown.
+    pub shutdown_requested: bool,
+}
+
+/// Totals for one [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections served to completion by the worker pool.
+    pub connections: u64,
+    /// Requests served across all connections.
+    pub requests: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Connections shed with an overload reply.
+    pub overloads: u64,
+}
+
+/// A shutdown trigger for a running [`Server`] — cloneable, shareable
+/// across threads.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    flag: ShutdownFlag,
+}
+
+impl ServerHandle {
+    /// The server's bound address (with the real port when `addr` used
+    /// port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop: no new connections are accepted, queued
+    /// and in-flight connections finish, then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.flag.trip();
+        wake(self.addr);
+    }
+}
+
+/// The admission-control server (see the [module docs](self)).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+    registry: AlgorithmRegistry,
+    shutdown: ShutdownFlag,
+}
+
+impl Server {
+    /// Binds the listener (resolving port 0 to a real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(registry: AlgorithmRegistry, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            config,
+            registry,
+            shutdown: ShutdownFlag::new(),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown trigger usable from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            flag: self.shutdown.clone(),
+        }
+    }
+
+    /// Serves until shut down, then returns the run's totals.
+    ///
+    /// Blocks the calling thread (the acceptor) and spawns
+    /// [`ServerConfig::workers`] worker threads for the connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns early only on unrecoverable accept failures; per-request
+    /// and per-connection failures are answered in-band.
+    pub fn run(self) -> std::io::Result<ServerStats> {
+        let Server {
+            listener,
+            addr: _,
+            config,
+            registry,
+            shutdown,
+        } = self;
+        let handle = ServerHandle {
+            addr: listener.local_addr()?,
+            flag: shutdown.clone(),
+        };
+        let queue: Bounded<TcpStream> = Bounded::new(config.queue_depth.max(1));
+        let mut stats = ServerStats::default();
+        let worker_totals = std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(config.workers.max(1));
+            for _ in 0..config.workers.max(1) {
+                workers.push(scope.spawn(|| {
+                    let mut totals = ServerStats::default();
+                    while let Some(stream) = queue.pop() {
+                        totals.connections += 1;
+                        let conn = serve_tcp(&registry, &config, stream);
+                        totals.requests += conn.requests;
+                        totals.errors += conn.errors;
+                        if conn.shutdown_requested {
+                            handle.shutdown();
+                        }
+                    }
+                    totals
+                }));
+            }
+            let mut accept_failures = 0u32;
+            loop {
+                if shutdown.is_tripped() {
+                    break;
+                }
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_failures = 0;
+                        stream
+                    }
+                    Err(_) if shutdown.is_tripped() => break,
+                    Err(_) => {
+                        // Transient (EMFILE, aborted handshake): keep
+                        // serving, but never spin forever on a dead socket.
+                        accept_failures += 1;
+                        if accept_failures > 100 {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                if shutdown.is_tripped() {
+                    // The wake-up nudge itself; drop it and stop.
+                    break;
+                }
+                match queue.try_push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(stream)) => {
+                        stats.overloads += 1;
+                        shed_overloaded(stream);
+                    }
+                    Err(PushError::Closed(_)) => break,
+                }
+            }
+            // Drain: workers finish queued + in-flight connections.
+            queue.close();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for totals in worker_totals {
+            stats.connections += totals.connections;
+            stats.requests += totals.requests;
+            stats.errors += totals.errors;
+        }
+        Ok(stats)
+    }
+}
+
+/// Sheds a connection the queue cannot take: one typed overload reply,
+/// then close. Best-effort — a slow or gone peer cannot stall the
+/// acceptor past the write timeout.
+fn shed_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let reply = Reply::Overload {
+        error: "server overloaded; retry later".to_owned(),
+    };
+    let _ = write_frame(&mut stream, &reply.render(None));
+}
+
+/// Serves one TCP connection (transport setup + the generic loop).
+fn serve_tcp(registry: &AlgorithmRegistry, config: &ServerConfig, stream: TcpStream) -> ConnStats {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(config.idle_timeout);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return ConnStats::default(),
+    };
+    serve_connection(registry, config, reader, stream)
+}
+
+/// What a handled request tells the connection loop to do next.
+enum Control {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+/// Serves one connection over any byte stream — the whole session state
+/// machine, independent of TCP (tests drive it with in-memory buffers).
+///
+/// Reads newline-delimited requests from `reader` until EOF, a fatal
+/// I/O error, `close`, an honoured `shutdown`, the idle timeout
+/// (surfaced by the transport as [`FrameError::TimedOut`]), or the
+/// per-connection request cap.
+pub fn serve_connection<R: Read, W: Write>(
+    registry: &AlgorithmRegistry,
+    config: &ServerConfig,
+    reader: R,
+    mut writer: W,
+) -> ConnStats {
+    let mut totals = ConnStats::default();
+    let mut session: Option<ClusterSession> = None;
+    let mut frames = FrameReader::new(BufReader::new(reader), config.max_frame_len);
+    loop {
+        let line = match frames.next_frame() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(FrameError::Oversized { max }) => {
+                totals.requests += 1;
+                totals.errors += 1;
+                let reply = Reply::error(format!("frame exceeds the {max}-byte limit"));
+                if write_frame(&mut writer, &reply.render(None)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::TimedOut) => {
+                let reply = Reply::Closed {
+                    reason: "idle timeout".to_owned(),
+                };
+                let _ = write_frame(&mut writer, &reply.render(None));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        totals.requests += 1;
+        if totals.requests > config.max_requests {
+            let reply = Reply::Closed {
+                reason: format!("request cap ({}) reached", config.max_requests),
+            };
+            let _ = write_frame(&mut writer, &reply.render(None));
+            break;
+        }
+        let (id, reply, control) = handle_request(registry, config, &mut session, &line);
+        if matches!(reply, Reply::Error { .. }) {
+            totals.errors += 1;
+        }
+        if write_frame(&mut writer, &reply.render(id.as_ref())).is_err() {
+            break;
+        }
+        match control {
+            Control::Continue => {}
+            Control::Close => break,
+            Control::Shutdown => {
+                totals.shutdown_requested = true;
+                break;
+            }
+        }
+    }
+    totals
+}
+
+/// Handles one request line against the connection's session.
+fn handle_request(
+    registry: &AlgorithmRegistry,
+    config: &ServerConfig,
+    session: &mut Option<ClusterSession>,
+    line: &str,
+) -> (Option<RequestId>, Reply, Control) {
+    let env = match parse_envelope(line) {
+        Ok(env) => env,
+        Err(e) => return (e.id, Reply::error(e.message), Control::Continue),
+    };
+    let id = env.id;
+    let no_session =
+        || Reply::error("no open session on this connection; send `open_session` first".to_owned());
+    match env.request {
+        Request::Eval(req) => match evaluate_request(registry, &req) {
+            Ok(resp) => (id, Reply::Eval(resp), Control::Continue),
+            Err(error) => (id, Reply::error(error), Control::Continue),
+        },
+        Request::OpenSession { algorithm, m } => {
+            if m > config.max_session_m {
+                let reply = Reply::error(format!(
+                    "`m` must be at most {} on this server",
+                    config.max_session_m
+                ));
+                return (id, reply, Control::Continue);
+            }
+            match registry.open_session(&algorithm, m) {
+                Ok(cluster) => {
+                    let reply = Reply::Session(SessionReply {
+                        algorithm: cluster.name().to_owned(),
+                        m,
+                    });
+                    // Reopening replaces the previous session wholesale.
+                    *session = Some(cluster);
+                    (id, reply, Control::Continue)
+                }
+                Err(e) => (id, Reply::error(e.to_string()), Control::Continue),
+            }
+        }
+        Request::Admit { task } => match session.as_mut() {
+            None => (id, no_session(), Control::Continue),
+            Some(cluster) => {
+                if cluster.task_count() >= config.max_session_tasks {
+                    let reply = Reply::error(format!(
+                        "session task cap ({}) reached; remove tasks first",
+                        config.max_session_tasks
+                    ));
+                    return (id, reply, Control::Continue);
+                }
+                let task_id = task.id().0;
+                let reply = match cluster.admit(task) {
+                    Ok(processor) => Reply::Admit(AdmitReply {
+                        admitted: true,
+                        processor: Some(processor),
+                        task: task_id,
+                        tasks: cluster.task_count(),
+                        detail: None,
+                    }),
+                    Err(e) => Reply::Admit(AdmitReply {
+                        admitted: false,
+                        processor: None,
+                        task: task_id,
+                        tasks: cluster.task_count(),
+                        detail: Some(e.to_string()),
+                    }),
+                };
+                (id, reply, Control::Continue)
+            }
+        },
+        Request::Remove { task_id } => match session.as_mut() {
+            None => (id, no_session(), Control::Continue),
+            Some(cluster) => {
+                let processor = cluster.remove(task_id);
+                let reply = Reply::Remove(RemoveReply {
+                    removed: processor.is_some(),
+                    processor,
+                    task: task_id.0,
+                    tasks: cluster.task_count(),
+                });
+                (id, reply, Control::Continue)
+            }
+        },
+        Request::Query { probe } => match session.as_mut() {
+            None => (id, no_session(), Control::Continue),
+            Some(cluster) => {
+                let probe = probe.map(|task| {
+                    let processor = cluster.probe(&task);
+                    ProbeReply {
+                        fits: processor.is_some(),
+                        processor,
+                    }
+                });
+                let reply = Reply::Query(QueryReply {
+                    algorithm: cluster.name().to_owned(),
+                    m: cluster.processor_count(),
+                    tasks: cluster.task_count(),
+                    partition: cluster
+                        .snapshot()
+                        .into_iter()
+                        .map(|proc| proc.into_iter().map(|t| t.0).collect())
+                        .collect(),
+                    probe,
+                });
+                (id, reply, Control::Continue)
+            }
+        },
+        Request::Close => {
+            let reply = Reply::Closed {
+                reason: "client close".to_owned(),
+            };
+            (id, reply, Control::Close)
+        }
+        Request::Shutdown => {
+            if config.allow_shutdown {
+                let reply = Reply::Closed {
+                    reason: "server shutdown".to_owned(),
+                };
+                (id, reply, Control::Shutdown)
+            } else {
+                let reply = Reply::error("in-band shutdown is disabled on this server");
+                (id, reply, Control::Continue)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_reply;
+
+    fn config() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    fn drive(config: &ServerConfig, input: &str) -> (Vec<(Option<RequestId>, Reply)>, ConnStats) {
+        let registry = AlgorithmRegistry::standard();
+        let mut out = Vec::new();
+        let stats = serve_connection(&registry, config, input.as_bytes(), &mut out);
+        let text = String::from_utf8(out).unwrap();
+        let replies = text
+            .lines()
+            .map(|l| parse_reply(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+            .collect();
+        (replies, stats)
+    }
+
+    #[test]
+    fn session_lifecycle_over_a_connection() {
+        let input = concat!(
+            r#"{"id": 1, "type": "open_session", "algorithm": "CA-UDP-EDF-VD", "m": 2}"#,
+            "\n",
+            r#"{"id": 2, "type": "admit", "task": {"id": 0, "period": 10, "criticality": "HI", "wcet_lo": 2, "wcet_hi": 4}}"#,
+            "\n",
+            r#"{"id": 3, "type": "admit", "task": {"id": 1, "period": 20, "wcet_lo": 6}}"#,
+            "\n",
+            r#"{"id": 4, "type": "query", "task": {"id": 2, "period": 20, "wcet_lo": 1}}"#,
+            "\n",
+            r#"{"id": 5, "type": "remove", "task_id": 0}"#,
+            "\n",
+            r#"{"id": 6, "type": "close"}"#,
+            "\n",
+        );
+        let (replies, stats) = drive(&config(), input);
+        assert_eq!(replies.len(), 6);
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.errors, 0);
+        for (i, (id, _)) in replies.iter().enumerate() {
+            assert_eq!(id, &Some(RequestId::Num(i as u64 + 1)), "reply {i}");
+        }
+        match &replies[0].1 {
+            Reply::Session(s) => {
+                assert_eq!(s.algorithm, "CA-UDP-EDF-VD");
+                assert_eq!(s.m, 2);
+            }
+            other => panic!("expected session, got {other:?}"),
+        }
+        match &replies[1].1 {
+            Reply::Admit(a) => {
+                assert!(a.admitted);
+                assert_eq!(a.task, 0);
+                assert_eq!(a.tasks, 1);
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match &replies[3].1 {
+            Reply::Query(q) => {
+                assert_eq!(q.tasks, 2);
+                assert_eq!(q.m, 2);
+                assert!(q.probe.as_ref().unwrap().fits);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        match &replies[4].1 {
+            Reply::Remove(r) => {
+                assert!(r.removed);
+                assert_eq!(r.tasks, 1);
+            }
+            other => panic!("expected remove, got {other:?}"),
+        }
+        assert!(matches!(&replies[5].1, Reply::Closed { reason } if reason == "client close"));
+    }
+
+    #[test]
+    fn session_verbs_without_session_are_errors() {
+        let input = concat!(
+            r#"{"type": "admit", "task": {"id": 0, "period": 10, "wcet_lo": 1}}"#,
+            "\n",
+            r#"{"type": "remove", "task_id": 0}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+        );
+        let (replies, stats) = drive(&config(), input);
+        assert_eq!(stats.errors, 3);
+        for (_, reply) in &replies {
+            assert!(
+                matches!(reply, Reply::Error { error } if error.contains("open_session")),
+                "{reply:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_works_inline_with_sessions() {
+        let input = concat!(
+            r#"{"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [{"id": 0, "period": 10, "wcet_lo": 1}]}"#,
+            "\n",
+        );
+        let (replies, _) = drive(&config(), input);
+        assert!(matches!(&replies[0].1, Reply::Eval(r) if r.schedulable));
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        // Request cap: the third request is answered with a typed close.
+        let mut cfg = config();
+        cfg.max_requests = 2;
+        let input = concat!(
+            r#"{"type": "query"}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+        );
+        let (replies, stats) = drive(&cfg, input);
+        assert_eq!(replies.len(), 3);
+        assert_eq!(stats.requests, 3);
+        assert!(
+            matches!(&replies[2].1, Reply::Closed { reason } if reason.contains("request cap"))
+        );
+
+        // Session-m cap.
+        let mut cfg = config();
+        cfg.max_session_m = 8;
+        let input = concat!(
+            r#"{"type": "open_session", "algorithm": "CU-UDP-AMC", "m": 9}"#,
+            "\n"
+        );
+        let (replies, _) = drive(&cfg, input);
+        assert!(matches!(&replies[0].1, Reply::Error { error } if error.contains("at most 8")));
+
+        // Session task cap.
+        let mut cfg = config();
+        cfg.max_session_tasks = 1;
+        let input = concat!(
+            r#"{"type": "open_session", "algorithm": "CU-UDP-EDF-VD", "m": 2}"#,
+            "\n",
+            r#"{"type": "admit", "task": {"id": 0, "period": 100, "wcet_lo": 1}}"#,
+            "\n",
+            r#"{"type": "admit", "task": {"id": 1, "period": 100, "wcet_lo": 1}}"#,
+            "\n",
+        );
+        let (replies, _) = drive(&cfg, input);
+        assert!(matches!(&replies[1].1, Reply::Admit(a) if a.admitted));
+        assert!(matches!(&replies[2].1, Reply::Error { error } if error.contains("task cap")));
+    }
+
+    #[test]
+    fn oversized_frames_error_and_resync() {
+        let mut cfg = config();
+        cfg.max_frame_len = 64;
+        let long = format!("{{\"pad\": \"{}\"}}\n", "x".repeat(200));
+        let input = format!(
+            "{long}{}\n",
+            r#"{"algorithm": "CU-UDP-EDF-VD", "m": 1, "tasks": []}"#
+        );
+        let (replies, stats) = drive(&cfg, &input);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(stats.errors, 1);
+        assert!(matches!(&replies[0].1, Reply::Error { error } if error.contains("64-byte limit")));
+        assert!(matches!(&replies[1].1, Reply::Eval(_)));
+    }
+
+    #[test]
+    fn malformed_lines_echo_ids_and_keep_the_session() {
+        let input = concat!(
+            r#"{"id": 1, "type": "open_session", "algorithm": "CA-UDP-EY", "m": 2}"#,
+            "\n",
+            r#"{"id": 2, "type": "admit"}"#,
+            "\n",
+            r#"{"id": 3, "type": "query"}"#,
+            "\n",
+        );
+        let (replies, stats) = drive(&config(), input);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(replies[1].0, Some(RequestId::Num(2)));
+        assert!(matches!(&replies[1].1, Reply::Error { .. }));
+        // The parse error did not tear down the session.
+        assert!(matches!(&replies[2].1, Reply::Query(q) if q.algorithm == "CA-UDP-EY"));
+    }
+
+    #[test]
+    fn shutdown_request_is_gated() {
+        let input = concat!(
+            r#"{"type": "shutdown"}"#,
+            "\n",
+            r#"{"type": "close"}"#,
+            "\n"
+        );
+        let (replies, stats) = drive(&config(), input);
+        assert!(!stats.shutdown_requested);
+        assert!(matches!(&replies[0].1, Reply::Error { error } if error.contains("disabled")));
+
+        let mut cfg = config();
+        cfg.allow_shutdown = true;
+        let (replies, stats) = drive(&cfg, input);
+        assert!(stats.shutdown_requested);
+        assert_eq!(replies.len(), 1, "connection ends at shutdown");
+        assert!(matches!(&replies[0].1, Reply::Closed { reason } if reason == "server shutdown"));
+    }
+
+    #[test]
+    fn reopening_replaces_the_session() {
+        let input = concat!(
+            r#"{"type": "open_session", "algorithm": "CU-UDP-EDF-VD", "m": 2}"#,
+            "\n",
+            r#"{"type": "admit", "task": {"id": 0, "period": 10, "wcet_lo": 1}}"#,
+            "\n",
+            r#"{"type": "open_session", "algorithm": "CA-UDP-ECDF", "m": 3}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+        );
+        let (replies, _) = drive(&config(), input);
+        match &replies[3].1 {
+            Reply::Query(q) => {
+                assert_eq!(q.algorithm, "CA-UDP-ECDF");
+                assert_eq!(q.m, 3);
+                assert_eq!(q.tasks, 0, "fresh session starts empty");
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+}

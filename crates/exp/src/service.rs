@@ -1,9 +1,11 @@
-//! The JSONL schedulability-evaluation service behind `mcexp eval`.
+//! The one-shot JSONL schedulability-evaluation service behind
+//! `mcexp eval`.
 //!
 //! Requests arrive one JSON object per line (from a file or stdin); each
-//! line is answered with one JSON verdict on the next output line — the
-//! first step toward serving the partitioned-schedulability analysis as a
-//! network service. Request shape:
+//! line is answered with one JSON verdict on the next output line. The
+//! line shapes are the [`protocol`](crate::protocol) module's `eval`
+//! verb — including the legacy pre-versioning shape, which keeps parsing
+//! unchanged:
 //!
 //! ```json
 //! {"algorithm": "CU-UDP-EDF-VD", "m": 2, "tasks": [
@@ -17,60 +19,37 @@
 //!   listing every registered name),
 //! * `m` — the processor count,
 //! * `tasks` — the task set; `criticality` defaults to `"LO"`, `wcet_hi`
-//!   to `wcet_lo`, and `deadline` to `period`.
+//!   to `wcet_lo`, and `deadline` to `period`,
+//! * optionally `"v"` (protocol version) and `"id"` (correlation token,
+//!   echoed on the verdict — errors included).
 //!
 //! The verdict carries the partition witness (task ids per processor)
 //! when the set is schedulable, or the first unallocatable task when it
 //! is not:
 //!
 //! ```json
-//! {"algorithm": "CU-UDP-EDF-VD", "m": 2, "schedulable": true,
-//!  "partition": [[0], [1]], "rejected_task": null, "detail": null}
+//! {"type": "eval", "v": 1, "algorithm": "CU-UDP-EDF-VD", "m": 2,
+//!  "schedulable": true, "partition": [[0], [1]],
+//!  "rejected_task": null, "detail": null}
 //! ```
 //!
-//! Malformed lines and unknown algorithms produce `{"error": "..."}`
-//! verdicts in-band; the stream keeps flowing (service semantics — one
-//! bad request must not poison the batch).
+//! Malformed lines and unknown algorithms produce
+//! `{"type": "error", "error": "..."}` verdicts in-band; the stream
+//! keeps flowing (service semantics — one bad request must not poison
+//! the batch). Session verbs (`open_session`, `admit`, …) need a
+//! persistent connection and are redirected to `mcexp serve` (see
+//! [`server`](crate::server)).
 
+use crate::protocol::{parse_envelope, Reply, Request};
 use mcsched_core::AlgorithmRegistry;
-use mcsched_model::{Criticality, Task, TaskSet};
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::io::{BufRead, Write};
 
-/// Ceiling on the requested processor count: far above any platform the
-/// analysis targets, low enough that per-processor admission-state
-/// allocation stays trivial.
-pub const MAX_PROCESSORS: u64 = 4096;
+pub use crate::protocol::{EvalRequest, EvalResponse, MAX_PROCESSORS};
 
-/// A parsed schedulability request (one JSONL line).
-#[derive(Debug, Clone, PartialEq)]
-pub struct EvalRequest {
-    /// Registry name of the algorithm to apply.
-    pub algorithm: String,
-    /// Processor count.
-    pub m: usize,
-    /// The task set to judge.
-    pub tasks: TaskSet,
-}
-
-/// The verdict for one request.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct EvalResponse {
-    /// Echo of the requested algorithm name.
-    pub algorithm: String,
-    /// Echo of the processor count.
-    pub m: usize,
-    /// Whether the algorithm schedules the set on `m` processors.
-    pub schedulable: bool,
-    /// The witness: task ids per processor (present iff schedulable).
-    pub partition: Option<Vec<Vec<u32>>>,
-    /// The first unallocatable task (present iff not schedulable).
-    pub rejected_task: Option<u32>,
-    /// Human-readable rejection detail (present iff not schedulable).
-    pub detail: Option<String>,
-}
-
-/// An in-band error verdict (`{"error": "..."}`).
+/// An in-band error verdict (`{"error": "..."}` — the pre-versioning
+/// error shape, kept for callers that build one directly; the service
+/// itself now answers with the typed [`Reply::Error`]).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EvalError {
     /// What went wrong with the request line.
@@ -82,81 +61,24 @@ pub struct EvalError {
 pub struct EvalSummary {
     /// Non-blank request lines seen.
     pub requests: usize,
-    /// Requests answered with an `{"error": ...}` verdict.
+    /// Requests answered with an error verdict.
     pub errors: usize,
 }
 
-/// Parses one JSONL request line.
+/// Parses one JSONL `eval` request line (legacy or v1 shape).
 ///
 /// # Errors
 ///
-/// Returns a human-readable message naming the first malformed field.
+/// Returns a human-readable message naming the first malformed field;
+/// session verbs are rejected here (they need `mcexp serve`).
 pub fn parse_request(line: &str) -> Result<EvalRequest, String> {
-    let v = serde_json::parse_value(line).map_err(|e| format!("malformed JSON: {e}"))?;
-    let algorithm = v
-        .get("algorithm")
-        .and_then(Value::as_str)
-        .ok_or("request needs a string `algorithm`")?
-        .to_owned();
-    let m = v
-        .get("m")
-        .and_then(Value::as_u64)
-        .ok_or("request needs an integer `m`")?;
-    if m == 0 {
-        return Err("`m` must be at least 1".to_owned());
+    match parse_envelope(line).map_err(|e| e.message)?.request {
+        Request::Eval(req) => Ok(req),
+        other => Err(format!(
+            "`{}` requests need a persistent session; run `mcexp serve` and connect to it",
+            other.kind()
+        )),
     }
-    // Partitioning allocates per-processor admission state, so an absurd
-    // `m` in one request must not be able to abort the whole stream.
-    if m > MAX_PROCESSORS {
-        return Err(format!("`m` must be at most {MAX_PROCESSORS}"));
-    }
-    let m = usize::try_from(m).map_err(|_| "`m` out of range".to_owned())?;
-    let tasks_value = v
-        .get("tasks")
-        .and_then(Value::as_seq)
-        .ok_or("request needs an array `tasks`")?;
-    let mut tasks = TaskSet::with_capacity(tasks_value.len());
-    for (i, tv) in tasks_value.iter().enumerate() {
-        let task = task_from_value(tv).map_err(|e| format!("tasks[{i}]: {e}"))?;
-        tasks
-            .try_push(task)
-            .map_err(|e| format!("tasks[{i}]: {e}"))?;
-    }
-    Ok(EvalRequest {
-        algorithm,
-        m,
-        tasks,
-    })
-}
-
-fn task_from_value(v: &Value) -> Result<Task, String> {
-    let field = |name: &str| v.get(name).and_then(Value::as_u64);
-    let id = field("id").ok_or("needs an integer `id`")?;
-    let id = u32::try_from(id).map_err(|_| "`id` out of range".to_owned())?;
-    let period = field("period").ok_or("needs an integer `period`")?;
-    let wcet_lo = field("wcet_lo").ok_or("needs an integer `wcet_lo`")?;
-    let criticality = match v.get("criticality") {
-        None => Criticality::Low,
-        Some(c) => {
-            let s = c.as_str().ok_or("`criticality` must be a string")?;
-            match s.to_ascii_uppercase().as_str() {
-                "HI" | "HIGH" | "HC" => Criticality::High,
-                "LO" | "LOW" | "LC" => Criticality::Low,
-                other => return Err(format!("unknown criticality `{other}` (use HI or LO)")),
-            }
-        }
-    };
-    let mut builder = Task::builder(id)
-        .period(period)
-        .criticality(criticality)
-        .wcet_lo(wcet_lo);
-    if let Some(wcet_hi) = field("wcet_hi") {
-        builder = builder.wcet_hi(wcet_hi);
-    }
-    if let Some(deadline) = field("deadline") {
-        builder = builder.deadline(deadline);
-    }
-    builder.try_build().map_err(|e| e.to_string())
 }
 
 /// Evaluates one parsed request against the registry.
@@ -200,19 +122,30 @@ pub fn evaluate_request(
 }
 
 /// Answers one request line with one JSON verdict line (never panics on
-/// bad input — errors become `{"error": "..."}` verdicts). The boolean is
-/// `true` when the line was answered with an error.
+/// bad input — errors become typed error verdicts that echo the
+/// request's `id` when one was given). The boolean is `true` when the
+/// line was answered with an error.
 pub fn handle_request_line(registry: &AlgorithmRegistry, line: &str) -> (String, bool) {
-    let verdict = parse_request(line).and_then(|req| evaluate_request(registry, &req));
-    match verdict {
-        Ok(resp) => (
-            serde_json::to_string(&resp).expect("stub serialization is infallible"),
-            false,
-        ),
-        Err(error) => (
-            serde_json::to_string(&EvalError { error }).expect("stub serialization is infallible"),
-            true,
-        ),
+    match parse_envelope(line) {
+        Ok(env) => {
+            let id = env.id;
+            match env.request {
+                Request::Eval(req) => match evaluate_request(registry, &req) {
+                    Ok(resp) => (Reply::Eval(resp).render(id.as_ref()), false),
+                    Err(error) => (Reply::error(error).render(id.as_ref()), true),
+                },
+                other => (
+                    Reply::error(format!(
+                        "`{}` requests need a persistent session; run `mcexp serve` and \
+                         connect to it",
+                        other.kind()
+                    ))
+                    .render(id.as_ref()),
+                    true,
+                ),
+            }
+        }
+        Err(e) => (Reply::error(e.message).render(e.id.as_ref()), true),
     }
 }
 
@@ -340,6 +273,39 @@ mod tests {
     }
 
     #[test]
+    fn errors_echo_the_request_id() {
+        let registry = AlgorithmRegistry::standard();
+        let (verdict, errored) =
+            handle_request_line(&registry, r#"{"id": 41, "algorithm": "CU-UDP-EDF-VD"}"#);
+        assert!(errored);
+        assert!(verdict.contains("\"id\":41"), "{verdict}");
+        let (verdict, errored) = handle_request_line(
+            &registry,
+            r#"{"id": "r2", "type": "admit", "task": {"id": 0, "period": 5, "wcet_lo": 1}}"#,
+        );
+        assert!(errored);
+        assert!(verdict.contains("\"id\":\"r2\""), "{verdict}");
+        assert!(verdict.contains("mcexp serve"), "{verdict}");
+    }
+
+    #[test]
+    fn session_verbs_point_at_the_server() {
+        let registry = AlgorithmRegistry::standard();
+        for line in [
+            r#"{"type": "open_session", "algorithm": "CU-UDP-EDF-VD", "m": 2}"#,
+            r#"{"type": "query"}"#,
+            r#"{"type": "close"}"#,
+        ] {
+            let (verdict, errored) = handle_request_line(&registry, line);
+            assert!(errored, "{line}");
+            assert!(verdict.contains("mcexp serve"), "{line}: {verdict}");
+        }
+        assert!(parse_request(r#"{"type": "close"}"#)
+            .unwrap_err()
+            .contains("mcexp serve"));
+    }
+
+    #[test]
     fn run_eval_streams_line_per_request() {
         let registry = AlgorithmRegistry::standard();
         let input = format!("{}\n\n{}\n", GOOD.replace('\n', " "), "{bad");
@@ -351,6 +317,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"schedulable\":true"));
+        assert!(lines[0].contains("\"type\":\"eval\""));
+        assert!(lines[0].contains("\"v\":1"));
         assert!(lines[1].contains("\"error\""));
         // Every verdict is itself valid JSON.
         for line in lines {

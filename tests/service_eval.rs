@@ -93,6 +93,36 @@ fn unknown_algorithm_error_lists_registry_names() {
 }
 
 #[test]
+fn request_ids_echo_on_verdicts_and_errors() {
+    let registry = AlgorithmRegistry::standard();
+
+    let (verdict, errored) = handle_request_line(
+        &registry,
+        r#"{"v":1,"id":7,"algorithm":"CU-UDP-EDF-VD","m":1,"tasks":[{"id":0,"period":10,"wcet_lo":2}]}"#,
+    );
+    assert!(!errored);
+    let parsed = serde_json::parse_value(&verdict).unwrap();
+    assert_eq!(parsed.get("type").and_then(Value::as_str), Some("eval"));
+    assert_eq!(parsed.get("v").and_then(Value::as_u64), Some(1));
+    assert_eq!(parsed.get("id").and_then(Value::as_u64), Some(7));
+
+    // Errors carry the id too — even when the request itself is broken.
+    let (verdict, errored) = handle_request_line(
+        &registry,
+        r#"{"id":"req-3","algorithm":"NOPE","m":1,"tasks":[]}"#,
+    );
+    assert!(errored);
+    let parsed = serde_json::parse_value(&verdict).unwrap();
+    assert_eq!(parsed.get("type").and_then(Value::as_str), Some("error"));
+    assert_eq!(parsed.get("id").and_then(Value::as_str), Some("req-3"));
+
+    let (verdict, errored) = handle_request_line(&registry, r#"{"id":9,"m":0}"#);
+    assert!(errored);
+    let parsed = serde_json::parse_value(&verdict).unwrap();
+    assert_eq!(parsed.get("id").and_then(Value::as_u64), Some(9));
+}
+
+#[test]
 fn verdicts_agree_with_direct_registry_calls() {
     let registry = AlgorithmRegistry::standard();
     for request in REQUESTS {

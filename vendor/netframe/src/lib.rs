@@ -1,0 +1,528 @@
+//! Offline stub of a minimal socket/framing layer (see `vendor/README.md`).
+//!
+//! Provides the three primitives a line-oriented network service needs,
+//! with no dependencies beyond `std`:
+//!
+//! * **framing** — [`FrameReader`] reads newline-delimited frames from any
+//!   [`BufRead`] source, enforcing a maximum frame length *while reading*
+//!   (an oversized frame is reported as a typed error and skipped up to
+//!   its terminating newline, so the stream stays usable) and mapping
+//!   read timeouts to [`FrameError::TimedOut`]; [`write_frame`] is the
+//!   matching writer.
+//! * **bounded handoff** — [`Bounded`] is a Mutex + Condvar MPMC queue
+//!   with a hard capacity: producers use the non-blocking
+//!   [`try_push`](Bounded::try_push) and handle [`PushError::Full`]
+//!   themselves (backpressure is the caller's policy, not hidden
+//!   buffering), consumers block on [`pop`](Bounded::pop) until an item
+//!   arrives or the queue is closed and drained.
+//! * **shutdown** — [`ShutdownFlag`] is a shared trip-once flag, and
+//!   [`wake`] nudges a listener blocked in `accept` by making a
+//!   throwaway local connection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How reading one frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The frame exceeded the configured maximum length. The reader has
+    /// already discarded the rest of the frame (through its terminating
+    /// newline or EOF), so the next call starts at a frame boundary.
+    Oversized {
+        /// The configured maximum frame length in bytes.
+        max: usize,
+    },
+    /// The underlying reader timed out before a full frame arrived
+    /// (`WouldBlock` / `TimedOut`) — the idle-reaping signal.
+    TimedOut,
+    /// Any other I/O failure; the connection is unusable.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { max } => {
+                write!(f, "frame exceeds the {max}-byte limit")
+            }
+            FrameError::TimedOut => write!(f, "timed out waiting for a frame"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+            _ => FrameError::Io(e),
+        }
+    }
+}
+
+/// Reads newline-delimited frames with a hard per-frame size cap.
+///
+/// The cap is enforced *while* reading: a peer cannot make the reader
+/// buffer more than `max_len` bytes of one frame, no matter how much it
+/// sends. Carriage returns before the newline are stripped, so both
+/// `\n` and `\r\n` terminators work.
+///
+/// # Example
+///
+/// ```
+/// use netframe::FrameReader;
+///
+/// let data = b"alpha\nbeta\r\n" as &[u8];
+/// let mut frames = FrameReader::new(data, 16);
+/// assert_eq!(frames.next_frame().unwrap().as_deref(), Some("alpha"));
+/// assert_eq!(frames.next_frame().unwrap().as_deref(), Some("beta"));
+/// assert_eq!(frames.next_frame().unwrap(), None);
+/// ```
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    max_len: usize,
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered reader with a maximum frame length in bytes.
+    pub fn new(inner: R, max_len: usize) -> Self {
+        FrameReader {
+            inner,
+            max_len,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The underlying reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads the next frame; `Ok(None)` is a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when a frame exceeds the cap (the
+    /// offending frame is skipped, the stream stays readable),
+    /// [`FrameError::TimedOut`] when the reader's timeout elapsed, and
+    /// [`FrameError::Io`] for anything fatal. A frame cut off by EOF
+    /// before its newline is returned as a final frame.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        self.buf.clear();
+        loop {
+            let chunk = self.inner.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF: whatever accumulated is the (unterminated) last frame.
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(take_text(&mut self.buf)))
+                };
+            }
+            if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                if self.buf.len() + pos > self.max_len {
+                    self.inner.consume(pos + 1);
+                    self.buf.clear();
+                    return Err(FrameError::Oversized { max: self.max_len });
+                }
+                self.buf.extend_from_slice(&chunk[..pos]);
+                self.inner.consume(pos + 1);
+                return Ok(Some(take_text(&mut self.buf)));
+            }
+            let len = chunk.len();
+            if self.buf.len() + len > self.max_len {
+                self.inner.consume(len);
+                self.buf.clear();
+                return self.skip_to_newline();
+            }
+            self.buf.extend_from_slice(chunk);
+            self.inner.consume(len);
+        }
+    }
+
+    /// Discards input through the next newline (or EOF), then reports the
+    /// oversized frame. Runs in constant memory.
+    fn skip_to_newline(&mut self) -> Result<Option<String>, FrameError> {
+        loop {
+            let chunk = self.inner.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(FrameError::Oversized { max: self.max_len });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    self.inner.consume(pos + 1);
+                    return Err(FrameError::Oversized { max: self.max_len });
+                }
+                None => {
+                    let len = chunk.len();
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+}
+
+/// Converts the accumulated frame bytes to text, stripping one trailing
+/// `\r` (CRLF tolerance). Invalid UTF-8 is replaced, never fatal.
+fn take_text(buf: &mut Vec<u8>) -> String {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8_lossy(buf).into_owned()
+}
+
+/// Writes one frame (the payload plus a terminating newline) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying write/flush failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Why [`Bounded::try_push`] rejected an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back so the caller
+    /// can apply its backpressure policy (reject, retry, shed).
+    Full(T),
+    /// The queue was closed; no more items will be accepted.
+    Closed(T),
+}
+
+struct BoundedInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC handoff queue (Mutex + Condvar).
+///
+/// Producers never block: [`try_push`](Bounded::try_push) fails fast when
+/// the queue is full, which is the backpressure signal. Consumers block
+/// in [`pop`](Bounded::pop) until an item arrives or the queue is closed
+/// *and* drained.
+///
+/// # Example
+///
+/// ```
+/// use netframe::{Bounded, PushError};
+///
+/// let q = Bounded::new(1);
+/// q.try_push(1).unwrap();
+/// assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+/// assert_eq!(q.pop(), Some(1));
+/// q.close();
+/// assert_eq!(q.pop(), None);
+/// assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+/// ```
+pub struct Bounded<T> {
+    capacity: usize,
+    inner: Mutex<BoundedInner<T>>,
+    ready: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            capacity: capacity.max(1),
+            inner: Mutex::new(BoundedInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Bounded::close); both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; `None` once the queue is closed
+    /// and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// As [`pop`](Bounded::pop), giving up after `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, result) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .expect("queue poisoned");
+            inner = guard;
+            if result.timed_out() {
+                return inner.items.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// `true` after [`close`](Bounded::close).
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+}
+
+/// A shared trip-once shutdown flag.
+///
+/// Cloning shares the flag; once any clone [`trip`](ShutdownFlag::trip)s
+/// it, every holder observes [`is_tripped`](ShutdownFlag::is_tripped).
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag (idempotent).
+    pub fn trip(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once any clone has tripped the flag.
+    pub fn is_tripped(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Nudges a listener blocked in `accept` by opening (and immediately
+/// dropping) a loopback connection to it. Failures are ignored — if the
+/// listener is already gone there is nobody left to wake.
+pub fn wake(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_split_on_newlines() {
+        let mut r = FrameReader::new(&b"a\nbb\r\nccc"[..], 64);
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("a"));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("bb"));
+        // EOF flushes the unterminated tail as a final frame.
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("ccc"));
+        assert_eq!(r.next_frame().unwrap(), None);
+        assert!(r.get_ref().is_empty());
+    }
+
+    #[test]
+    fn empty_frames_are_preserved() {
+        let mut r = FrameReader::new(&b"\n\nx\n"[..], 8);
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(""));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some(""));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("x"));
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_stream_resyncs() {
+        let data = b"0123456789abcdef\nok\n";
+        // Cap of 4: the 16-byte frame errors, the following frame is fine.
+        let mut r = FrameReader::new(&data[..], 4);
+        match r.next_frame() {
+            Err(FrameError::Oversized { max }) => assert_eq!(max, 4),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("ok"));
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_detection_is_constant_memory() {
+        // A frame far larger than the cap, drip-fed through a tiny
+        // BufReader: the reader must never accumulate more than max_len.
+        let big = vec![b'x'; 1 << 16];
+        let mut data = big.clone();
+        data.extend_from_slice(b"\ntail\n");
+        let mut r = FrameReader::new(BufReader::with_capacity(7, &data[..]), 32);
+        assert!(matches!(
+            r.next_frame(),
+            Err(FrameError::Oversized { max: 32 })
+        ));
+        assert!(r.buf.capacity() <= 64, "buffered {}", r.buf.capacity());
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("tail"));
+    }
+
+    #[test]
+    fn oversized_at_eof_without_newline() {
+        let mut r = FrameReader::new(&b"0123456789"[..], 4);
+        assert!(matches!(r.next_frame(), Err(FrameError::Oversized { .. })));
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_exactly_at_cap_passes() {
+        let mut r = FrameReader::new(&b"abcd\n"[..], 4);
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("abcd"));
+    }
+
+    #[test]
+    fn write_frame_appends_newline() {
+        let mut out = Vec::new();
+        write_frame(&mut out, "hello").unwrap();
+        write_frame(&mut out, "").unwrap();
+        assert_eq!(out, b"hello\n\n");
+    }
+
+    #[test]
+    fn error_display_and_conversion() {
+        let timeout: FrameError = io::Error::from(io::ErrorKind::WouldBlock).into();
+        assert!(matches!(timeout, FrameError::TimedOut));
+        let timeout: FrameError = io::Error::from(io::ErrorKind::TimedOut).into();
+        assert!(timeout.to_string().contains("timed out"));
+        let io: FrameError = io::Error::from(io::ErrorKind::BrokenPipe).into();
+        assert!(io.to_string().contains("i/o error"));
+        assert!(FrameError::Oversized { max: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn bounded_backpressure_and_close() {
+        let q = Bounded::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert!(q.is_closed());
+        // Drain continues after close; then None forever.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_pop_timeout_returns_late_items() {
+        let q = Bounded::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        q.try_push(7).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(7));
+    }
+
+    #[test]
+    fn bounded_hands_off_across_threads() {
+        let q = Arc::new(Bounded::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..20 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("closed early"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_flag_is_shared() {
+        let a = ShutdownFlag::new();
+        let b = a.clone();
+        assert!(!b.is_tripped());
+        a.trip();
+        assert!(b.is_tripped());
+        a.trip();
+        assert!(a.is_tripped());
+    }
+
+    #[test]
+    fn wake_reaches_a_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        wake(addr);
+        // The throwaway connection arrives (and is dropped by wake).
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+        // Waking a dead address is a no-op, not a panic.
+        drop(listener);
+        wake(addr);
+    }
+}

@@ -110,6 +110,13 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {}
+
 /// Marker trait standing in for serde's `Deserialize`.
 ///
 /// The stub keeps the `'de` lifetime parameter so higher-ranked bounds
