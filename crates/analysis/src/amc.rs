@@ -25,9 +25,44 @@
 //!   must already have completed and are charged at `C^L_k`, the rest at
 //!   `C^H_k`. The final bound takes the best of AMC-max and AMC-rtb, so
 //!   AMC-max dominates AMC-rtb by construction (as published).
+//!
+//! # Batched lane evaluation
+//!
+//! The LO-mode and rtb fixpoints on the hot path do not chase `tasks[j]`
+//! through `Task` structs: they run over a structure-of-arrays view
+//! (`SoaTasks` in [`crate::workspace`]) holding one contiguous `u64` lane
+//! per parameter (`wcet_lo` / `wcet_hi` / `period` / `deadline`) in
+//! priority order, plus *compacted* HC/LC sub-views. A block of up to
+//! `RTA_LANES` consecutive priority positions iterates its fixpoints
+//! together (`lo_rta_batched` / `rtb_batched`): each sweep walks the
+//! block's shared higher-priority lanes **once**, charging every live
+//! iterate — independent integer divisions the CPU can overlap — and
+//! converged slots are compacted out so no division is spent on a
+//! finished task. The rtb iteration additionally hoists the LC
+//! interference term `Σ_{j∈hpL} ⌈R^LO_i/Tj⌉·C^L_j` out of the loop (it
+//! depends only on the already-fixed low-mode response) and then touches
+//! exclusively the compacted hp-HC lanes.
+//!
+//! # Seeding soundness
+//!
+//! Every batched fixpoint is seeded at
+//! `max(C_i, cached bound, C_i + Σ_{j∈hp} C_j)`:
+//!
+//! * the *cached bound* is the task's response before the probe's
+//!   candidate was inserted — interference only grows when the
+//!   higher-priority set grows, so it is a lower bound on the new least
+//!   fixed point `R*`;
+//! * the *one-job bound* holds because every higher-priority task
+//!   contributes at least one whole job to `R* ≥ C_i ≥ 1`.
+//!
+//! Kleene iteration from **any** start `≤ R*` converges to exactly `R*`:
+//! all iterates stay `≤ R*` (monotonicity), and a stabilisation point is
+//! a fixed point `≤ R*`, hence `R*` itself (least). Verdicts and bounds
+//! are therefore bit-identical to the scalar [`mod@reference`] path, which
+//! the equivalence suites assert.
 
 use crate::incremental::{AdmissionState, AdmissionStats, Committed, IncrementalTest};
-use crate::workspace::{AnalysisWorkspace, WorkspaceRef};
+use crate::workspace::{AnalysisWorkspace, SoaTasks, WorkspaceRef};
 use crate::SchedulabilityTest;
 use mcsched_model::{Criticality, SystemUtilization, Task, TaskId, TaskSet, Time};
 
@@ -43,9 +78,84 @@ pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
 /// task slice — the incremental states and the workspace-backed one-shot
 /// path analyse `committed + candidate` unions without materialising a
 /// `TaskSet` or allocating the index vector.
+/// Sorts 8 keys with the optimal 19-comparator network (Knuth, TAOCP
+/// vol. 3, Fig. 49); correctness is pinned by the exhaustive 0-1
+/// principle test below.
+fn cas_sort8<T: Ord>(keys: &mut [T; 8]) {
+    for [a, b] in [
+        [0, 2],
+        [1, 3],
+        [4, 6],
+        [5, 7],
+        [0, 4],
+        [1, 5],
+        [2, 6],
+        [3, 7],
+        [0, 1],
+        [2, 3],
+        [4, 5],
+        [6, 7],
+        [2, 4],
+        [3, 5],
+        [1, 4],
+        [3, 6],
+        [1, 2],
+        [3, 4],
+        [5, 6],
+    ] {
+        if keys[a] > keys[b] {
+            keys.swap(a, b);
+        }
+    }
+}
+
 fn dm_order_into(tasks: &[Task], idx: &mut Vec<usize>) {
     idx.clear();
-    idx.extend(0..tasks.len());
+    let n = tasks.len();
+    if n <= 8 {
+        // Sorting network on packed `(deadline, id, position)` keys:
+        // 19 compare-exchanges, branch-free, no length-dependent control
+        // flow. Empty slots are padded with the all-ones sentinel, which
+        // sinks past every real key (a real key's position field is at
+        // most 7, so it can never equal the sentinel). Small deadlines
+        // and ids — the overwhelmingly common case — pack into one `u64`
+        // per task; anything larger falls back to `u128` keys.
+        let mut k64 = [u64::MAX; 8];
+        let mut small = true;
+        for (p, (k, t)) in k64.iter_mut().zip(tasks).enumerate() {
+            let dl = t.deadline().as_ticks();
+            let id = t.id().0;
+            small &= dl < (1 << 32) && id < (1 << 16);
+            *k = dl.wrapping_shl(32) | u64::from(id) << 16 | p as u64;
+        }
+        if small {
+            cas_sort8(&mut k64);
+            idx.extend(k64[..n].iter().map(|&k| (k & 0xffff) as usize));
+            return;
+        }
+        let mut keys = [u128::MAX; 8];
+        for (p, (k, t)) in keys.iter_mut().zip(tasks).enumerate() {
+            *k = ((t.deadline().as_ticks() as u128) << 64) | ((t.id().0 as u128) << 32) | p as u128;
+        }
+        cas_sort8(&mut keys);
+        idx.extend(keys[..n].iter().map(|&k| (k as u32) as usize));
+        return;
+    }
+    if n <= 64 {
+        // Pack `(deadline, id, position)` into one `u128` per task: the
+        // unique `(deadline, id)` prefix decides the order and the
+        // position rides along in the low 32 bits, so the sort compares
+        // plain integers on the stack instead of chasing `tasks` through
+        // a comparator on every probe.
+        let mut keys = [0u128; 64];
+        for (p, (k, t)) in keys.iter_mut().zip(tasks).enumerate() {
+            *k = ((t.deadline().as_ticks() as u128) << 64) | ((t.id().0 as u128) << 32) | p as u128;
+        }
+        keys[..n].sort_unstable();
+        idx.extend(keys[..n].iter().map(|&k| (k as u32) as usize));
+        return;
+    }
+    idx.extend(0..n);
     // The (deadline, id) key is unique, so the unstable sort (which never
     // allocates, unlike the stable one) orders identically.
     idx.sort_unstable_by(|&a, &b| {
@@ -72,6 +182,11 @@ fn fixpoint(wcet: Time, deadline: Time, interference: impl Fn(Time) -> Time) -> 
 /// task was added — interference only grows when the higher-priority set
 /// grows, so the old response is such a valid lower bound and the returned
 /// fixed point (and verdict) is identical to a cold start, only cheaper.
+///
+/// The `wcet + interference` accumulation saturates: a mathematically
+/// overflowing response also exceeds every `deadline < u64::MAX`, so the
+/// saturated value fails the deadline test just the same instead of
+/// wrapping (or panicking) near `Time::MAX`.
 fn fixpoint_from(
     start: Time,
     wcet: Time,
@@ -80,7 +195,7 @@ fn fixpoint_from(
 ) -> Option<Time> {
     let mut r = start.max(wcet);
     loop {
-        let next = wcet + interference(r);
+        let next = wcet.saturating_add(interference(r));
         if next > deadline {
             return None;
         }
@@ -89,6 +204,500 @@ fn fixpoint_from(
         }
         r = next;
     }
+}
+
+/// `⌈a / b⌉` over raw ticks, without the `(a + b − 1) / b` overflow
+/// hazard near `u64::MAX`. `b` is a task period, hence nonzero. Kept as
+/// the test oracle for the reciprocal paths below (`dc_inv` / `dc_fast`);
+/// the hot kernels only ever divide by multiplication.
+#[cfg(test)]
+fn dc(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        0
+    } else {
+        (a - 1) / b + 1
+    }
+}
+
+/// Exact `⌈a / b⌉` by multiplication, with `m = inv64(b)` precomputed in
+/// the SoA lanes — the hot sweeps' replacement for the hardware divide
+/// (one widening multiply plus a one-step fixup, fully pipelined where
+/// `div` is not).
+///
+/// Correctness: for `b ≥ 2`, `m = ⌊2^64/b⌋` gives an error
+/// `e = 2^64 − m·b ∈ [0, b)`, so for `n < 2^64`
+/// `n·m/2^64 = n/b − n·e/(b·2^64) ∈ (n/b − 1, n/b]` and the truncated
+/// high word `est` is `⌊n/b⌋` or `⌊n/b⌋ − 1`; `n − est·b ≥ b` detects the
+/// low case exactly (no overflow: `est·b ≤ n`). For `b == 1`,
+/// `m = u64::MAX` yields `est = n − 1` for `n ≥ 1` and the same fixup
+/// lands on `n`. The `+ 1` never overflows: `⌊(a−1)/b⌋ ≤ 2^64 − 2`.
+#[inline(always)]
+pub(crate) fn dc_inv(a: u64, b: u64, m: u64) -> u64 {
+    if a == 0 {
+        return 0;
+    }
+    let n = a - 1;
+    let est = ((n as u128 * m as u128) >> 64) as u64;
+    let floor = est + u64::from(n - est * b >= b);
+    floor + 1
+}
+
+/// Exact `⌈a/b⌉` in the small-value regime certified by
+/// [`SoaTasks::fast`], with `m1 = ⌊2^64/b⌋ + 1` hoisted by the caller —
+/// one widening multiply, no fixup.
+///
+/// Correctness: `m1·b − 2^64 = e ∈ (0, b]`, so for `n = a − 1`
+/// `n·m1/2^64 = n/b + n·e/(b·2^64) ∈ [n/b, n/b + n/2^64]`. The
+/// certificate guarantees `n·b < 2^64` (both below `2^32`), hence the
+/// excess `n/2^64 < 1/b` cannot carry `⌊n/b⌋` past the next integer
+/// (the fractional part of `n/b` is at most `(b−1)/b`), and the high
+/// word is exactly `⌊(a−1)/b⌋`. Requires `a ≥ 1` (certified: every
+/// iterate is at least its task's nonzero WCET) and `b ≥ 2` (so `m1`
+/// does not wrap).
+#[inline(always)]
+fn dc_fast(a: u64, m1: u64) -> u64 {
+    (((a - 1) as u128 * m1 as u128) >> 64) as u64 + 1
+}
+
+/// Width of one batched fixpoint block: how many consecutive
+/// priority-order positions iterate their response-time fixpoints
+/// simultaneously. Eight keeps the per-sweep slot state (positions,
+/// iterates, accumulators) in registers while giving the divider pipeline
+/// several independent `⌈r/T⌉` chains per interference lane.
+const RTA_LANES: usize = 8;
+
+/// Batched low-mode RTA over the SoA lanes for positions `from..`.
+///
+/// Blocks of up to [`RTA_LANES`] consecutive positions run as a
+/// synchronous Jacobi iteration: one sweep walks the shared
+/// higher-priority lanes (`j < base`) once, loading each `(C^L_j, T_j)`
+/// pair a single time and charging it against every live iterate, then
+/// adds the small per-slot triangle of in-block predecessors. Each slot
+/// performs exactly Kleene iteration of its own monotone interference
+/// function from a sound lower bound (see the module docs), so the
+/// responses and the verdict are bit-identical to the scalar path;
+/// converged slots are compacted out so no division is spent on a
+/// finished task. Arithmetic saturates — a saturated sum exceeds every
+/// `deadline < u64::MAX` and rejects exactly like the guarded scalar
+/// fixpoint.
+///
+/// `seed(pos)` must return a sound lower bound on the position's response
+/// (0 when unknown). Responses land in `lo_resp` **by task index** via
+/// `order`. Returns `false` iff some analysed task misses its deadline.
+fn lo_rta_batched(
+    soa: &SoaTasks,
+    order: &[usize],
+    from: usize,
+    seed: impl Fn(usize) -> u64,
+    lo_resp: &mut [Time],
+) -> bool {
+    // Monomorphise on the small-value certificate: the fast kernel drops
+    // the saturation guards and the reciprocal fixup, both provably
+    // no-ops under the certificate (see [`SoaTasks::fast`]), so the two
+    // instantiations compute bit-identical responses. Small certified
+    // sets skip the lane machinery entirely: at a handful of tasks the
+    // shared-rectangle sweep has nothing to share and the slot state
+    // costs more than it saves.
+    if soa.fast() {
+        if soa.len() <= RTA_SCALAR_MAX {
+            lo_rta_scalar_fast(soa, order, from, seed, lo_resp)
+        } else {
+            lo_rta_block::<true>(soa, order, from, seed, lo_resp)
+        }
+    } else {
+        lo_rta_block::<false>(soa, order, from, seed, lo_resp)
+    }
+}
+
+/// Below this set size the certified kernels run scalar, task at a time,
+/// over the same SoA lanes: one lane block covers the whole set, so the
+/// batched sweep degenerates to a Jacobi iteration whose slot
+/// bookkeeping outweighs the shared loads it exists to amortise. The
+/// division count is identical either way (every task still iterates its
+/// own Kleene chain to the same fixed point), so verdicts and responses
+/// stay bit-identical.
+const RTA_SCALAR_MAX: usize = 10;
+
+/// Scalar low-mode RTA over the SoA lanes — the [`RTA_SCALAR_MAX`] route
+/// of [`lo_rta_batched`]. Requires the fast-kernel certificate
+/// ([`SoaTasks::fast`]): all arithmetic is plain (the certificate rules
+/// out overflow) and every ceiling division is the no-fixup reciprocal
+/// multiply. Seeds are the one-job bound and the caller's warm bound —
+/// both sound lower bounds on the fixed point, so the computed responses
+/// equal the batched kernel's (Kleene iteration from any sound seed
+/// converges to the same least fixed point).
+fn lo_rta_scalar_fast(
+    soa: &SoaTasks,
+    order: &[usize],
+    from: usize,
+    seed: impl Fn(usize) -> u64,
+    lo_resp: &mut [Time],
+) -> bool {
+    let n = soa.len();
+    let wl = &soa.wcet_lo;
+    let inv = &soa.inv_period;
+    let dl = &soa.deadline;
+    // Under the certificate Σ C^L is bounded by the interference budget
+    // (each budget term is at least its task's `max(C^L, C^H)`), so the
+    // prefix sums below cannot overflow. No linear utilisation seed
+    // here: at scalar-route sizes the handful of extra sweeps it saves
+    // costs less than computing it (the batched kernel, which pays the
+    // seed once per eight lanes, keeps it).
+    let mut below: u64 = wl[..from].iter().sum();
+    for p in from..n {
+        let one_job = wl[p] + below;
+        below += wl[p];
+        let mut r = wl[p].max(seed(p)).max(one_job);
+        if r > dl[p] {
+            return false;
+        }
+        loop {
+            let mut acc = 0u64;
+            for j in 0..p {
+                acc += wl[j] * dc_fast(r, inv[j].wrapping_add(1));
+            }
+            let next = wl[p] + acc;
+            if next > dl[p] {
+                return false;
+            }
+            if next == r {
+                break;
+            }
+            r = next;
+        }
+        lo_resp[order[p]] = Time::new(r);
+    }
+    true
+}
+
+/// The monomorphised body of [`lo_rta_batched`].
+fn lo_rta_block<const FAST: bool>(
+    soa: &SoaTasks,
+    order: &[usize],
+    from: usize,
+    seed: impl Fn(usize) -> u64,
+    lo_resp: &mut [Time],
+) -> bool {
+    let n = soa.len();
+    let wl = &soa.wcet_lo;
+    let per = &soa.period;
+    let inv = &soa.inv_period;
+    let dl = &soa.deadline;
+    // Fixed-point (32 fraction bits) underestimate of the task's
+    // utilisation `C^L/T`, derived from the reciprocal lane:
+    // `C·⌊2^64/T⌋/2^32 ≤ C·2^32/T`. Clamped at 1.0 — once the running
+    // prefix reaches that, the linear seed below is skipped anyway.
+    const FP32: u64 = 1 << 32;
+    let util = |j: usize| ((wl[j] as u128 * inv[j] as u128) >> 32).min(FP32 as u128) as u64;
+    // Σ C^L (and Σ util) above the first analysed position, for the
+    // one-job and linear seeds.
+    let mut below: u64 = wl[..from].iter().fold(0, |a, &c| a.saturating_add(c));
+    let mut usum: u64 = (0..from).fold(0, |a, j| a.saturating_add(util(j)));
+    let mut base = from;
+    while base < n {
+        let width = RTA_LANES.min(n - base);
+        let mut pos = [0usize; RTA_LANES];
+        let mut r = [0u64; RTA_LANES];
+        for k in 0..width {
+            let p = base + k;
+            pos[k] = p;
+            let one_job = wl[p].saturating_add(below);
+            below = below.saturating_add(wl[p]);
+            // Linear lower bound on the fixed point: in the reals,
+            // `R* = C + Σ C_j·⌈R*/T_j⌉ ≥ C + R*·U_hp`, so
+            // `R* ≥ C·2^32/den` with `den = 2^32 − usum` (substituting
+            // the *under*estimate `usum/2^32 ≤ U_hp` only lowers the
+            // bound). Two division-free consequences, both sound:
+            //
+            //  * reject: `C·2^32 > D·den` implies `R* > D` — checked by
+            //    widening multiply, no quotient needed;
+            //  * seed: `(C·2^32) >> bitlen(den) ≤ C·2^32/den ≤ R*`
+            //    (within 2× of the exact bound), so seeding from it
+            //    converges to the same fixed point (module docs).
+            //
+            // Skipped when `usum` saturates — the other seeds still
+            // apply.
+            let mut lin = 0;
+            if usum < FP32 {
+                let den = FP32 - usum;
+                let scaled = (wl[p] as u128) << 32;
+                if scaled > dl[p] as u128 * den as u128 {
+                    return false;
+                }
+                lin = (scaled >> (128 - u128::from(den).leading_zeros())) as u64;
+            }
+            usum = usum.saturating_add(util(p));
+            r[k] = wl[p].max(seed(p)).max(one_job).max(lin);
+            // Every seed component is a sound lower bound on R*, so a
+            // seed past the deadline already decides the verdict.
+            if r[k] > dl[p] {
+                return false;
+            }
+        }
+        let mut live = width;
+        while live > 0 {
+            let mut acc = [0u64; RTA_LANES];
+            // Shared rectangle: lanes above the whole block.
+            for j in 0..base {
+                let (c, t, m) = (wl[j], per[j], inv[j]);
+                let m1 = m.wrapping_add(1);
+                for a in acc[..live].iter_mut().zip(&r[..live]) {
+                    *a.0 = if FAST {
+                        *a.0 + c * dc_fast(*a.1, m1)
+                    } else {
+                        a.0.saturating_add(c.saturating_mul(dc_inv(*a.1, t, m)))
+                    };
+                }
+            }
+            // Per-slot triangle: in-block predecessors.
+            for k in 0..live {
+                let mut a = acc[k];
+                for j in base..pos[k] {
+                    a = if FAST {
+                        a + wl[j] * dc_fast(r[k], inv[j].wrapping_add(1))
+                    } else {
+                        a.saturating_add(wl[j].saturating_mul(dc_inv(r[k], per[j], inv[j])))
+                    };
+                }
+                acc[k] = a;
+            }
+            // Advance every live iterate; compact converged slots out
+            // (order-preserving, so in-block hp relationships survive).
+            let mut w = 0;
+            for k in 0..live {
+                let p = pos[k];
+                let next = if FAST {
+                    wl[p] + acc[k]
+                } else {
+                    wl[p].saturating_add(acc[k])
+                };
+                if next > dl[p] {
+                    return false;
+                }
+                if next == r[k] {
+                    lo_resp[order[p]] = Time::new(next);
+                } else {
+                    pos[w] = p;
+                    r[w] = next;
+                    w += 1;
+                }
+            }
+            live = w;
+        }
+        base += width;
+    }
+    true
+}
+
+/// Batched AMC-rtb high-mode bounds over the compacted HC lanes, for HC
+/// ranks `from_rank..`.
+///
+/// The LC contribution `Σ_{j∈hpL} ⌈R^LO_i/Tj⌉·C^L_j` is constant across
+/// a task's fixpoint iterations (it depends only on the already-computed
+/// low-mode response), so it is folded once per task; each sweep then
+/// touches exclusively the compact hp-HC lanes. Block structure, seeding
+/// and saturation are as in [`lo_rta_batched`].
+fn rtb_batched(
+    soa: &SoaTasks,
+    order: &[usize],
+    from_rank: usize,
+    lo_resp: &[Time],
+    seed: impl Fn(usize) -> u64,
+    hi_resp: &mut [Option<Time>],
+) -> bool {
+    // Same certificate-driven monomorphisation (and small-set scalar
+    // route) as [`lo_rta_batched`].
+    if soa.fast() {
+        if soa.len() <= RTA_SCALAR_MAX {
+            rtb_scalar_fast(soa, order, from_rank, lo_resp, seed, hi_resp)
+        } else {
+            rtb_block::<true>(soa, order, from_rank, lo_resp, seed, hi_resp)
+        }
+    } else {
+        rtb_block::<false>(soa, order, from_rank, lo_resp, seed, hi_resp)
+    }
+}
+
+/// Scalar AMC-rtb bounds — the [`RTA_SCALAR_MAX`] route of
+/// [`rtb_batched`]. Walks the primary lanes with the `hc` flags instead
+/// of the compacted criticality views (so it runs even before
+/// [`SoaTasks::build_compact`]); interference terms accumulate in
+/// position order, exactly the compacted lanes' order, and the
+/// fast-kernel certificate makes every sum exact — responses are
+/// bit-identical to the batched kernel's.
+fn rtb_scalar_fast(
+    soa: &SoaTasks,
+    order: &[usize],
+    from_rank: usize,
+    lo_resp: &[Time],
+    seed: impl Fn(usize) -> u64,
+    hi_resp: &mut [Option<Time>],
+) -> bool {
+    let n = soa.len();
+    let wl = &soa.wcet_lo;
+    let wh = &soa.wcet_hi;
+    let inv = &soa.inv_period;
+    let dl = &soa.deadline;
+    let hc = &soa.hc;
+    // Stack-local criticality split: the positions ahead of `p` in each
+    // class, appended as `p` advances. The fixpoint loops then run over
+    // dense index lists instead of testing the (data-random) `hc` flag
+    // per element per sweep.
+    let mut hj = [0usize; RTA_SCALAR_MAX];
+    let mut lj = [0usize; RTA_SCALAR_MAX];
+    let (mut hn, mut ln) = (0usize, 0usize);
+    let mut below = 0u64;
+    for p in 0..n {
+        if !hc[p] {
+            lj[ln] = p;
+            ln += 1;
+            continue;
+        }
+        if hn < from_rank {
+            below += wh[p];
+            hj[hn] = p;
+            hn += 1;
+            continue;
+        }
+        // LC charge, frozen at the task's own low-mode response.
+        let cap = lo_resp[order[p]].as_ticks();
+        let mut c0 = 0u64;
+        for &j in &lj[..ln] {
+            c0 += wl[j] * dc_fast(cap, inv[j].wrapping_add(1));
+        }
+        let one_job = wh[p] + below + c0;
+        below += wh[p];
+        let mut r = wh[p].max(seed(p)).max(one_job);
+        if r > dl[p] {
+            return false;
+        }
+        loop {
+            let mut acc = c0;
+            for &j in &hj[..hn] {
+                acc += wh[j] * dc_fast(r, inv[j].wrapping_add(1));
+            }
+            let next = wh[p] + acc;
+            if next > dl[p] {
+                return false;
+            }
+            if next == r {
+                break;
+            }
+            r = next;
+        }
+        hi_resp[order[p]] = Some(Time::new(r));
+        hj[hn] = p;
+        hn += 1;
+    }
+    true
+}
+
+/// The monomorphised body of [`rtb_batched`].
+fn rtb_block<const FAST: bool>(
+    soa: &SoaTasks,
+    order: &[usize],
+    from_rank: usize,
+    lo_resp: &[Time],
+    seed: impl Fn(usize) -> u64,
+    hi_resp: &mut [Option<Time>],
+) -> bool {
+    let hn = soa.hc_len();
+    let wh = &soa.wcet_hi;
+    let dl = &soa.deadline;
+    let hw = &soa.hc_wcet_hi;
+    let ht = &soa.hc_period;
+    let hm = &soa.hc_inv_period;
+    let (lw, lt, lm) = (&soa.lc_wcet_lo, &soa.lc_period, &soa.lc_inv_period);
+    let mut below: u64 = hw[..from_rank].iter().fold(0, |a, &c| a.saturating_add(c));
+    let mut base = from_rank;
+    while base < hn {
+        let width = RTA_LANES.min(hn - base);
+        let mut rank = [0usize; RTA_LANES];
+        let mut pos = [0usize; RTA_LANES];
+        let mut lcc = [0u64; RTA_LANES];
+        let mut r = [0u64; RTA_LANES];
+        for k in 0..width {
+            let q = base + k;
+            let p = soa.hc_pos[q];
+            rank[k] = q;
+            pos[k] = p;
+            // The LC lanes above position p are exactly the first p − q
+            // compacted LC entries; their charge is frozen at the task's
+            // own low-mode response.
+            let cap = lo_resp[order[p]].as_ticks();
+            let mut c0 = 0u64;
+            for l in 0..(p - q) {
+                c0 = if FAST {
+                    c0 + lw[l] * dc_fast(cap, lm[l].wrapping_add(1))
+                } else {
+                    c0.saturating_add(lw[l].saturating_mul(dc_inv(cap, lt[l], lm[l])))
+                };
+            }
+            lcc[k] = c0;
+            let one_job = wh[p].saturating_add(below).saturating_add(c0);
+            below = below.saturating_add(hw[q]);
+            r[k] = wh[p].max(seed(p)).max(one_job);
+            // Every seed component is a sound lower bound on the
+            // fixed point (the one-job bound: each hp-HC term counts at
+            // least one job, the LC charge is the frozen constant), so a
+            // seed past the deadline already decides the verdict — and
+            // keeps fast-kernel iterates below `2^32`.
+            if r[k] > dl[p] {
+                return false;
+            }
+        }
+        let mut live = width;
+        while live > 0 {
+            let mut acc = [0u64; RTA_LANES];
+            acc[..live].copy_from_slice(&lcc[..live]);
+            for q in 0..base {
+                let (c, t, m) = (hw[q], ht[q], hm[q]);
+                let m1 = m.wrapping_add(1);
+                for a in acc[..live].iter_mut().zip(&r[..live]) {
+                    *a.0 = if FAST {
+                        *a.0 + c * dc_fast(*a.1, m1)
+                    } else {
+                        a.0.saturating_add(c.saturating_mul(dc_inv(*a.1, t, m)))
+                    };
+                }
+            }
+            for k in 0..live {
+                let mut a = acc[k];
+                for q in base..rank[k] {
+                    a = if FAST {
+                        a + hw[q] * dc_fast(r[k], hm[q].wrapping_add(1))
+                    } else {
+                        a.saturating_add(hw[q].saturating_mul(dc_inv(r[k], ht[q], hm[q])))
+                    };
+                }
+                acc[k] = a;
+            }
+            let mut w = 0;
+            for k in 0..live {
+                let p = pos[k];
+                let next = if FAST {
+                    wh[p] + acc[k]
+                } else {
+                    wh[p].saturating_add(acc[k])
+                };
+                if next > dl[p] {
+                    return false;
+                }
+                if next == r[k] {
+                    hi_resp[order[p]] = Some(Time::new(next));
+                } else {
+                    rank[w] = rank[k];
+                    pos[w] = p;
+                    lcc[w] = lcc[k];
+                    r[w] = next;
+                    w += 1;
+                }
+            }
+            live = w;
+        }
+        base += width;
+    }
+    true
 }
 
 /// Low-mode response-time analysis at `C^L` budgets under
@@ -124,20 +733,36 @@ impl LoRta {
 
     /// As [`LoRta::compute`], under a caller-supplied priority order
     /// (indices from highest to lowest priority).
+    ///
+    /// Runs the batched SoA kernel over pooled workspace lanes; responses
+    /// are bit-identical to scalar per-task iteration (see the module
+    /// docs).
     pub fn compute_with_order(ts: &TaskSet, order: &[usize]) -> Option<Vec<Time>> {
         let tasks = ts.as_slice();
         let mut resp = vec![Time::ZERO; tasks.len()];
-        for (pos, &i) in order.iter().enumerate() {
-            let hp = &order[..pos];
-            let r = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
-                hp.iter()
-                    .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-                    .sum()
-            })?;
-            resp[i] = r;
-        }
-        Some(resp)
+        AnalysisWorkspace::with(|ws| {
+            ws.soa.load_primary(tasks, order);
+            lo_rta_batched(&ws.soa, order, 0, |_| 0, &mut resp)
+        })
+        .then_some(resp)
     }
+}
+
+/// The seed low-mode RTA: one scalar fixpoint per task, chasing the AoS
+/// `Task` structs. Retained for the [`reference`] module (the hot path
+/// runs [`lo_rta_batched`] instead).
+fn lo_rta_scalar(tasks: &[Task], order: &[usize]) -> Option<Vec<Time>> {
+    let mut resp = vec![Time::ZERO; tasks.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        let hp = &order[..pos];
+        let r = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
+            hp.iter()
+                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
+                .sum()
+        })?;
+        resp[i] = r;
+    }
+    Some(resp)
 }
 
 /// Shared AMC machinery: low-mode RTA plus per-variant high-mode RTA,
@@ -149,7 +774,7 @@ fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Opti
         return true;
     }
     let order = dm_order(ts);
-    let Some(lo_resp) = LoRta::compute_with_order(ts, &order) else {
+    let Some(lo_resp) = lo_rta_scalar(ts.as_slice(), &order) else {
         return false;
     };
     let ctx = AmcContext {
@@ -159,7 +784,10 @@ fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Opti
     };
     for &i in order.iter() {
         if ctx.tasks[i].criticality() == Criticality::High {
-            match hi_rta(&ctx, i) {
+            // The seed path re-derives each task's priority position with
+            // a linear scan, exactly as it always did (the hot path
+            // threads positions through instead).
+            match hi_rta(&ctx, ctx.pos_of(i)) {
                 Some(r) if r <= ctx.tasks[i].deadline() => {}
                 _ => return false,
             }
@@ -170,14 +798,18 @@ fn amc_schedulable(ts: &TaskSet, hi_rta: impl Fn(&AmcContext<'_>, usize) -> Opti
 
 /// [`amc_schedulable`] over workspace scratch: delegates to the
 /// incremental layer's [`analyze_into`] with the workspace's reusable
-/// cache and candidate-walk buffers, so the one-shot and the
+/// cache, SoA lanes and candidate-walk buffers, so the one-shot and the
 /// cache-rebuild paths are literally the same code and the steady-state
 /// one-shot path allocates nothing.
 fn amc_schedulable_in(ts: &TaskSet, variant: AmcVariant, ws: &mut AnalysisWorkspace) -> bool {
     let AnalysisWorkspace {
-        streams, hc, amc, ..
+        streams,
+        hc,
+        amc,
+        soa,
+        ..
     } = ws;
-    analyze_into(ts.as_slice(), variant, streams, hc, amc)
+    analyze_into(ts.as_slice(), variant, false, soa, streams, hc, amc)
 }
 
 /// One step sequence of a single interference term in the streaming
@@ -231,27 +863,69 @@ struct AmcContext<'a> {
 }
 
 impl AmcContext<'_> {
-    /// Higher-priority task indices for task `i`.
-    fn hp(&self, i: usize) -> &[usize] {
-        let pos = self
-            .order
+    /// The priority position of task index `i` — a linear scan, used only
+    /// by the [`reference`] paths (the hot paths already know their
+    /// position and pass it straight through).
+    fn pos_of(&self, i: usize) -> usize {
+        self.order
             .iter()
             .position(|&x| x == i)
-            .expect("task in order");
+            .expect("task in order")
+    }
+
+    /// Higher-priority task indices for the task at priority position
+    /// `pos`.
+    fn hp(&self, pos: usize) -> &[usize] {
         &self.order[..pos]
     }
 
-    fn rtb_response(&self, i: usize) -> Option<Time> {
-        self.rtb_response_from(i, self.tasks[i].wcet_hi())
+    fn rtb_response(&self, pos: usize) -> Option<Time> {
+        let i = self.order[pos];
+        self.rtb_response_from(pos, self.tasks[i].wcet_hi())
     }
 
     /// [`AmcContext::rtb_response`] with a warm-started fixpoint (see
-    /// [`fixpoint_from`] for why the result is identical).
-    fn rtb_response_from(&self, i: usize, start: Time) -> Option<Time> {
+    /// [`fixpoint_from`] for why the result is identical). The LC charge
+    /// is frozen at the low-mode response — constant across iterations —
+    /// so it is folded once and only the HC terms are re-derived per
+    /// iteration.
+    fn rtb_response_from(&self, pos: usize, start: Time) -> Option<Time> {
+        let i = self.order[pos];
         let ti = &self.tasks[i];
-        let hp = self.hp(i);
+        let hp = self.hp(pos);
         let lo_cap = self.lo_resp[i];
+        let lc_const: Time = hp
+            .iter()
+            .map(|&j| {
+                let tj = &self.tasks[j];
+                match tj.criticality() {
+                    Criticality::Low => tj.wcet_lo() * lo_cap.div_ceil(tj.period()),
+                    Criticality::High => Time::ZERO,
+                }
+            })
+            .sum();
         fixpoint_from(start, ti.wcet_hi(), ti.deadline(), |r| {
+            hp.iter()
+                .map(|&j| {
+                    let tj = &self.tasks[j];
+                    match tj.criticality() {
+                        Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
+                        Criticality::Low => Time::ZERO,
+                    }
+                })
+                .sum::<Time>()
+                + lc_const
+        })
+    }
+
+    /// The seed rtb fixpoint: re-derives every hp term — LC included —
+    /// on every iteration. Retained for the [`reference`] paths.
+    fn rtb_response_reference(&self, pos: usize) -> Option<Time> {
+        let i = self.order[pos];
+        let ti = &self.tasks[i];
+        let hp = self.hp(pos);
+        let lo_cap = self.lo_resp[i];
+        fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
             hp.iter()
                 .map(|&j| {
                     let tj = &self.tasks[j];
@@ -264,9 +938,10 @@ impl AmcContext<'_> {
         })
     }
 
-    /// The AMC-max bound for task `i`: the worst response over all switch
-    /// instants, never worse than the rtb bound (shared by the one-shot
-    /// test and the incremental state so the code paths cannot diverge).
+    /// The AMC-max bound for the task at priority position `pos`: the
+    /// worst response over all switch instants, never worse than the rtb
+    /// bound (shared by the one-shot test and the incremental state so
+    /// the code paths cannot diverge).
     ///
     /// Candidate switch instants are walked by [`fold_candidates`]'s
     /// streaming k-way merge instead of materialising, sorting and
@@ -279,14 +954,14 @@ impl AmcContext<'_> {
     /// [`fold_candidates`]: AmcContext::fold_candidates
     fn max_bound_in(
         &self,
-        i: usize,
+        pos: usize,
         streams: &mut Vec<CandStream>,
         slots: &mut Vec<HcSlot>,
     ) -> Option<Time> {
         // max over switch instants; infeasible at any instant → None.
         let mut prev_lc = None;
         let worst =
-            self.fold_candidates(i, streams, slots, Time::ZERO, |worst, _s, lc, slots| {
+            self.fold_candidates(pos, streams, slots, Time::ZERO, |worst, _s, lc, slots| {
                 // Dominance skip (a structural win of the delta-updated
                 // walk): if no LC term stepped since the last *evaluated*
                 // candidate, only the completed-job bounds `M(k, s)` grew,
@@ -299,11 +974,11 @@ impl AmcContext<'_> {
                     return Some(worst);
                 }
                 prev_lc = Some(lc);
-                let r = self.max_response_streamed(i, lc, slots)?;
+                let r = self.max_response_streamed(pos, lc, slots)?;
                 Some(worst.max(r))
             })?;
         // AMC-max result never needs to be worse than AMC-rtb.
-        match self.rtb_response(i) {
+        match self.rtb_response(pos) {
             Some(rtb) => Some(worst.min(rtb)),
             None => Some(worst),
         }
@@ -315,8 +990,8 @@ impl AmcContext<'_> {
     /// over the hp-HC slots. Computes exactly the sums of
     /// [`AmcContext::max_response_at`] (integer arithmetic, identical
     /// operations per term).
-    fn max_response_streamed(&self, i: usize, lc: Time, slots: &[HcSlot]) -> Option<Time> {
-        let ti = &self.tasks[i];
+    fn max_response_streamed(&self, pos: usize, lc: Time, slots: &[HcSlot]) -> Option<Time> {
+        let ti = &self.tasks[self.order[pos]];
         fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
             let mut total = lc;
             for slot in slots {
@@ -328,10 +1003,11 @@ impl AmcContext<'_> {
         })
     }
 
-    /// Folds `f` over every candidate switch instant of task `i`, in
-    /// strictly increasing order with coinciding steps merged — exactly
-    /// the sorted-deduplicated set `{0} ∪ {step points < R^LO_i}` the seed
-    /// implementation materialised.
+    /// Folds `f` over every candidate switch instant of the task at
+    /// priority position `pos`, in strictly increasing order with
+    /// coinciding steps merged — exactly the sorted-deduplicated set
+    /// `{0} ∪ {step points < R^LO_i}` the seed implementation
+    /// materialised.
     ///
     /// `f` receives the accumulator, the instant `s`, the frozen LC
     /// interference `Σ_{j∈hpL} (⌊s/Tj⌋+1)·C^L_j` and the hp-HC slots with
@@ -339,17 +1015,17 @@ impl AmcContext<'_> {
     /// aborts the walk.
     fn fold_candidates<T>(
         &self,
-        i: usize,
+        pos: usize,
         streams: &mut Vec<CandStream>,
         slots: &mut Vec<HcSlot>,
         init: T,
         mut f: impl FnMut(T, Time, Time, &[HcSlot]) -> Option<T>,
     ) -> Option<T> {
-        let r_lo = self.lo_resp[i];
+        let r_lo = self.lo_resp[self.order[pos]];
         streams.clear();
         slots.clear();
         let mut lc = Time::ZERO;
-        for &j in self.hp(i) {
+        for &j in self.hp(pos) {
             let tj = &self.tasks[j];
             match tj.criticality() {
                 Criticality::Low => {
@@ -433,22 +1109,22 @@ impl AmcContext<'_> {
     /// interference term per candidate. Retained (not called on the hot
     /// path) as the equivalence reference for the streaming walk; see
     /// [`crate::amc::reference`].
-    fn max_bound_reference(&self, i: usize) -> Option<Time> {
+    fn max_bound_reference(&self, pos: usize) -> Option<Time> {
         let mut worst = Time::ZERO;
-        for s in self.switch_candidates(i) {
-            let r = self.max_response_at(i, s)?;
+        for s in self.switch_candidates(pos) {
+            let r = self.max_response_at(pos, s)?;
             worst = worst.max(r);
         }
-        match self.rtb_response(i) {
+        match self.rtb_response_reference(pos) {
             Some(rtb) => Some(worst.min(rtb)),
             None => Some(worst),
         }
     }
 
     /// AMC-max response for switch instant `s` (reference path).
-    fn max_response_at(&self, i: usize, s: Time) -> Option<Time> {
-        let ti = &self.tasks[i];
-        let hp = self.hp(i);
+    fn max_response_at(&self, pos: usize, s: Time) -> Option<Time> {
+        let ti = &self.tasks[self.order[pos]];
+        let hp = self.hp(pos);
         fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
             hp.iter()
                 .map(|&j| {
@@ -481,14 +1157,14 @@ impl AmcContext<'_> {
         })
     }
 
-    /// Candidate switch instants for task `i`: points in `[0, R^LO_i)`
-    /// where some interference term steps, plus 0 (reference path; the hot
-    /// path streams the same instants through
+    /// Candidate switch instants for the task at priority position `pos`:
+    /// points in `[0, R^LO_i)` where some interference term steps, plus 0
+    /// (reference path; the hot path streams the same instants through
     /// [`AmcContext::fold_candidates`] without materialising them).
-    fn switch_candidates(&self, i: usize) -> Vec<Time> {
-        let r_lo = self.lo_resp[i];
+    fn switch_candidates(&self, pos: usize) -> Vec<Time> {
+        let r_lo = self.lo_resp[self.order[pos]];
         let mut cands = vec![Time::ZERO];
-        for &j in self.hp(i) {
+        for &j in self.hp(pos) {
             let tj = &self.tasks[j];
             match tj.criticality() {
                 Criticality::Low => {
@@ -570,8 +1246,8 @@ impl AmcRtb {
     /// assignment the analysis certified.
     pub fn audsley_order(ts: &TaskSet) -> Option<Vec<usize>> {
         AnalysisWorkspace::with(|ws| {
-            let AnalysisWorkspace { idx, idx2, .. } = ws;
-            if !audsley_lowest_first(ts.as_slice(), idx, idx2) {
+            let AnalysisWorkspace { idx, idx2, soa, .. } = ws;
+            if !audsley_lowest_first(ts.as_slice(), soa, idx, idx2) {
                 return None;
             }
             Some(idx2.iter().rev().copied().collect())
@@ -583,63 +1259,102 @@ impl AmcRtb {
 /// assignment from the lowest priority level up, returning `false` when
 /// some level has no feasible task. The allocation-free core behind
 /// [`AmcRtb::audsley_order`], the one-shot OPA test and the incremental
-/// OPA admission probes.
+/// OPA admission probes. The unassigned set lives in `soa` lanes
+/// (slice order), shrunk by delta as levels are assigned, so every
+/// feasibility probe runs over compact contiguous lanes.
 fn audsley_lowest_first(
     tasks: &[Task],
+    soa: &mut SoaTasks,
     unassigned: &mut Vec<usize>,
     lowest_first: &mut Vec<usize>,
 ) -> bool {
     unassigned.clear();
     unassigned.extend(0..tasks.len());
+    soa.load_seq(tasks);
     lowest_first.clear();
     while !unassigned.is_empty() {
         // Find a task that is feasible at the current (lowest free)
         // priority level, with every other unassigned task above it.
-        let found = (0..unassigned.len()).find(|&p| rtb_feasible_at(tasks, unassigned, p));
+        let found = (0..unassigned.len()).find(|&p| rtb_feasible_at(soa, p));
         match found {
-            Some(p) => lowest_first.push(unassigned.remove(p)),
+            Some(p) => {
+                lowest_first.push(unassigned.remove(p));
+                soa.remove(p);
+            }
             None => return false,
         }
     }
     true
 }
 
-/// Checks `unassigned[p]` at the lowest priority level below every other
-/// unassigned task (low-mode RTA, and the rtb high-mode bound when it is
-/// HC). The higher-priority set is iterated in place — no materialised
-/// `hp` vector; interference sums are integer, so the order of terms is
-/// irrelevant to the fixed points.
-fn rtb_feasible_at(tasks: &[Task], unassigned: &[usize], p: usize) -> bool {
-    let i = unassigned[p];
-    let ti = &tasks[i];
-    let hp = || {
-        unassigned
-            .iter()
-            .enumerate()
-            .filter(move |&(q, _)| q != p)
-            .map(|(_, &j)| j)
+/// Checks the unassigned task at lane `p` at the lowest priority level,
+/// below every other unassigned lane (low-mode RTA, and the rtb high-mode
+/// bound when it is HC). The higher-priority set is `all lanes except p`,
+/// iterated as two contiguous ranges — no index filtering, no
+/// materialised `hp` vector; the HI fixpoint folds the constant LC charge
+/// once and then iterates over the compacted HC lanes only. Interference
+/// sums are integer, so the order of terms is irrelevant to the fixed
+/// points.
+fn rtb_feasible_at(soa: &SoaTasks, p: usize) -> bool {
+    let n = soa.len();
+    let wl = &soa.wcet_lo;
+    let per = &soa.period;
+    let inv = &soa.inv_period;
+    let d = soa.deadline[p];
+    let ci = wl[p];
+    let mut r = ci;
+    let lo_resp = loop {
+        let mut acc = 0u64;
+        for j in 0..p {
+            acc = acc.saturating_add(wl[j].saturating_mul(dc_inv(r, per[j], inv[j])));
+        }
+        for j in p + 1..n {
+            acc = acc.saturating_add(wl[j].saturating_mul(dc_inv(r, per[j], inv[j])));
+        }
+        let next = ci.saturating_add(acc);
+        if next > d {
+            return false;
+        }
+        if next == r {
+            break r;
+        }
+        r = next;
     };
-    let lo = fixpoint(ti.wcet_lo(), ti.deadline(), |r| {
-        hp().map(|j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-            .sum()
-    });
-    let Some(lo_resp) = lo else {
-        return false;
-    };
-    if ti.criticality() == Criticality::Low {
+    if !soa.is_hc(p) {
         return true;
     }
-    fixpoint(ti.wcet_hi(), ti.deadline(), |r| {
-        hp().map(|j| {
-            let tj = &tasks[j];
-            match tj.criticality() {
-                Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
-                Criticality::Low => tj.wcet_lo() * lo_resp.div_ceil(tj.period()),
-            }
-        })
-        .sum()
-    })
-    .is_some()
+    // p is HC, so every LC lane interferes; its charge is frozen at the
+    // low-mode response just computed.
+    let mut lcc = 0u64;
+    for ((&c, &t), &m) in soa
+        .lc_wcet_lo
+        .iter()
+        .zip(&soa.lc_period)
+        .zip(&soa.lc_inv_period)
+    {
+        lcc = lcc.saturating_add(c.saturating_mul(dc_inv(lo_resp, t, m)));
+    }
+    let prank = soa.hc_rank_below(p);
+    let (hw, ht, hm) = (&soa.hc_wcet_hi, &soa.hc_period, &soa.hc_inv_period);
+    let ch = soa.wcet_hi[p];
+    let mut r = ch;
+    loop {
+        let mut acc = lcc;
+        for q in 0..prank {
+            acc = acc.saturating_add(hw[q].saturating_mul(dc_inv(r, ht[q], hm[q])));
+        }
+        for q in prank + 1..hw.len() {
+            acc = acc.saturating_add(hw[q].saturating_mul(dc_inv(r, ht[q], hm[q])));
+        }
+        let next = ch.saturating_add(acc);
+        if next > d {
+            return false;
+        }
+        if next == r {
+            return true;
+        }
+        r = next;
+    }
 }
 
 impl AmcRtb {
@@ -666,8 +1381,8 @@ impl SchedulabilityTest for AmcRtb {
 
     fn is_schedulable_in(&self, ts: &TaskSet, ws: &mut AnalysisWorkspace) -> bool {
         if self.audsley {
-            let AnalysisWorkspace { idx, idx2, .. } = ws;
-            audsley_lowest_first(ts.as_slice(), idx, idx2)
+            let AnalysisWorkspace { idx, idx2, soa, .. } = ws;
+            audsley_lowest_first(ts.as_slice(), soa, idx, idx2)
         } else {
             amc_schedulable_in(ts, AmcVariant::RtbDm, ws)
         }
@@ -826,6 +1541,14 @@ pub struct AmcState {
     /// buffer swap instead of a re-run.
     scratch: AmcCache,
     pending: Option<TaskId>,
+    /// Where `commit` must insert the pending task's lanes into `soa`
+    /// (`None` when the probing path already left `soa` holding the
+    /// union, as the full-analysis fallback does).
+    pending_insert: Option<usize>,
+    /// SoA lane view of the committed set in `cache.order` — maintained
+    /// by delta under probes/commits so the batched kernels never rebuild
+    /// it. Meaningful only while `cache_valid`.
+    soa: SoaTasks,
     /// Scratch buffers shared with the other states of the same
     /// partitioning run.
     ws: WorkspaceRef,
@@ -840,12 +1563,15 @@ impl AmcState {
             cache_valid: variant != AmcVariant::RtbAudsley,
             scratch: AmcCache::default(),
             pending: None,
+            pending_insert: None,
+            soa: SoaTasks::default(),
             ws,
         }
     }
 
     fn rebuild_cache(&mut self) {
         self.pending = None;
+        self.pending_insert = None;
         match self.variant {
             AmcVariant::RtbAudsley => self.cache_valid = false,
             _ => {
@@ -854,6 +1580,8 @@ impl AmcState {
                 self.cache_valid = analyze_into(
                     self.committed.tasks.as_slice(),
                     self.variant,
+                    true,
+                    &mut self.soa,
                     &mut ws.streams,
                     &mut ws.hc,
                     &mut self.cache,
@@ -864,12 +1592,17 @@ impl AmcState {
 }
 
 /// Full analysis of `tasks` into `out` (used for the non-incremental
-/// paths and cache rebuilds); `streams`/`slots` are candidate-walk
-/// scratch. Returns `false` iff the one-shot test rejects — `out` is then
-/// partial and must be treated as invalid.
+/// paths and cache rebuilds); `soa` receives the DM-ordered lane view
+/// (left holding it — with the criticality views built when `views` is
+/// set — on success, for delta reuse by the incremental state);
+/// `streams`/`slots` are candidate-walk scratch. Returns `false` iff the
+/// one-shot test rejects — `out` is then partial and must be treated as
+/// invalid.
 fn analyze_into(
     tasks: &[Task],
     variant: AmcVariant,
+    views: bool,
+    soa: &mut SoaTasks,
     streams: &mut Vec<CandStream>,
     slots: &mut Vec<HcSlot>,
     out: &mut AmcCache,
@@ -881,43 +1614,66 @@ fn analyze_into(
         hi_resp,
     } = out;
     dm_order_into(tasks, order);
+    soa.load_primary(tasks, order);
     lo_resp.resize(tasks.len(), Time::ZERO);
-    for (pos, &i) in order.iter().enumerate() {
-        let hp = &order[..pos];
-        let Some(r) = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
-            hp.iter()
-                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-                .sum()
-        }) else {
-            return false;
-        };
-        lo_resp[i] = r;
+    if !lo_rta_batched(soa, order, 0, |_| 0, lo_resp) {
+        return false;
     }
-    let ctx = AmcContext {
-        tasks,
-        order: order.as_slice(),
-        lo_resp: lo_resp.as_slice(),
-    };
+    // The criticality views are only needed past low mode — a set
+    // rejected above never pays for them — and the scalar rtb route
+    // reads the primary lanes directly, so a one-shot verdict
+    // (`views == false`) can skip them entirely. A failed analysis
+    // leaves the view partial, which is fine: the admission states treat
+    // the SoA mirror as meaningful only while their cache is valid, and
+    // every rebuild goes through a full reload.
+    let scalar_rtb = variant == AmcVariant::RtbDm && soa.fast() && soa.len() <= RTA_SCALAR_MAX;
+    if !scalar_rtb {
+        soa.build_compact();
+    }
     hi_resp.resize(tasks.len(), None);
-    for &i in ctx.order.iter() {
-        if tasks[i].criticality() != Criticality::High {
-            continue;
+    let ok = match variant {
+        AmcVariant::RtbDm => rtb_batched(soa, order, 0, lo_resp, |_| 0, hi_resp),
+        AmcVariant::Max => {
+            let ctx = AmcContext {
+                tasks,
+                order: order.as_slice(),
+                lo_resp: lo_resp.as_slice(),
+            };
+            for (pos, &i) in ctx.order.iter().enumerate() {
+                if tasks[i].criticality() != Criticality::High {
+                    continue;
+                }
+                match ctx.max_bound_in(pos, streams, slots) {
+                    Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
+                    _ => return false,
+                }
+            }
+            true
         }
-        let bound = match variant {
-            AmcVariant::RtbDm => ctx.rtb_response(i),
-            AmcVariant::Max => ctx.max_bound_in(i, streams, slots),
-            AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
-        };
-        match bound {
-            Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
-            _ => return false,
-        }
+        AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+    };
+    if ok && views && scalar_rtb {
+        // The incremental states delta-update the criticality views on
+        // every probe, so a successful rebuild must leave them in place.
+        soa.build_compact();
     }
-    true
+    ok
+}
+
+/// DM insertion position of `cand` in the cached (sorted,
+/// duplicate-free) priority order.
+fn dm_insert_pos(committed: &[Task], cache: &AmcCache, cand: &Task) -> usize {
+    let key = (cand.deadline(), cand.id());
+    cache
+        .order
+        .partition_point(|&i| (committed[i].deadline(), committed[i].id()) < key)
 }
 
 /// The incremental admission query: reuse the prefix above the insertion
-/// point, warm-start the suffix. The union set is assembled in `union`
+/// point `p`, warm-start the suffix from the cached bounds (sound lower
+/// bounds on the new fixed points — see the module docs). `soa` must
+/// hold the committed lanes with the candidate's already inserted at `p`
+/// (the caller's delta update). The union set is assembled in `union`
 /// and the analysis lands in `out`, both reused across probes. Returns
 /// `false` iff the one-shot test rejects the union.
 #[allow(clippy::too_many_arguments)]
@@ -925,7 +1681,9 @@ fn admit_incremental_into(
     committed: &[Task],
     cache: &AmcCache,
     cand: &Task,
+    p: usize,
     variant: AmcVariant,
+    soa: &SoaTasks,
     union: &mut Vec<Task>,
     streams: &mut Vec<CandStream>,
     slots: &mut Vec<HcSlot>,
@@ -937,11 +1695,6 @@ fn admit_incremental_into(
     union.push(*cand);
     let tasks = union.as_slice();
 
-    // Insertion position in the (sorted, duplicate-free) DM order.
-    let key = (cand.deadline(), cand.id());
-    let p = cache
-        .order
-        .partition_point(|&i| (committed[i].deadline(), committed[i].id()) < key);
     out.clear();
     let AmcCache {
         order,
@@ -958,58 +1711,65 @@ fn admit_incremental_into(
     for &i in &cache.order[..p] {
         lo_resp[i] = cache.lo_resp[i];
     }
-    for pos in p..=n {
-        let i = order[pos];
-        let hp = &order[..pos];
-        let start = if i == n {
-            tasks[i].wcet_lo()
-        } else {
-            cache.lo_resp[i]
-        };
-        let Some(r) = fixpoint_from(start, tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
-            hp.iter()
-                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-                .sum()
-        }) else {
-            return false;
-        };
-        lo_resp[i] = r;
+    if !lo_rta_batched(
+        soa,
+        order,
+        p,
+        |pos| {
+            let i = order[pos];
+            if i == n {
+                0
+            } else {
+                cache.lo_resp[i].as_ticks()
+            }
+        },
+        lo_resp,
+    ) {
+        return false;
     }
 
-    let ctx = AmcContext {
-        tasks,
-        order: order.as_slice(),
-        lo_resp: lo_resp.as_slice(),
-    };
     hi_resp.resize(n + 1, None);
-    for (pos, &i) in ctx.order.iter().enumerate() {
-        if tasks[i].criticality() != Criticality::High {
-            continue;
-        }
-        if pos < p {
-            // Higher priority than the candidate: identical inputs,
-            // identical bound.
-            hi_resp[i] = cache.hi_resp[i];
-            continue;
-        }
-        let bound = match variant {
-            AmcVariant::RtbDm => {
-                let start = if i == n {
-                    tasks[i].wcet_hi()
-                } else {
-                    cache.hi_resp[i].unwrap_or_else(|| tasks[i].wcet_hi())
-                };
-                ctx.rtb_response_from(i, start)
-            }
-            AmcVariant::Max => ctx.max_bound_in(i, streams, slots),
-            AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
-        };
-        match bound {
-            Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
-            _ => return false,
-        }
+    // Higher priority than the candidate: identical inputs, identical
+    // bounds.
+    for &i in &cache.order[..p] {
+        hi_resp[i] = cache.hi_resp[i];
     }
-    true
+    match variant {
+        AmcVariant::RtbDm => rtb_batched(
+            soa,
+            order,
+            soa.hc_rank_below(p),
+            lo_resp,
+            |pos| {
+                let i = order[pos];
+                if i == n {
+                    0
+                } else {
+                    cache.hi_resp[i].map_or(0, Time::as_ticks)
+                }
+            },
+            hi_resp,
+        ),
+        AmcVariant::Max => {
+            let ctx = AmcContext {
+                tasks,
+                order: order.as_slice(),
+                lo_resp: lo_resp.as_slice(),
+            };
+            for pos in p..=n {
+                let i = ctx.order[pos];
+                if tasks[i].criticality() != Criticality::High {
+                    continue;
+                }
+                match ctx.max_bound_in(pos, streams, slots) {
+                    Some(r) if r <= tasks[i].deadline() => hi_resp[i] = Some(r),
+                    _ => return false,
+                }
+            }
+            true
+        }
+        AmcVariant::RtbAudsley => unreachable!("audsley has no DM cache"),
+    }
 }
 
 impl AdmissionState for AmcState {
@@ -1021,49 +1781,85 @@ impl AdmissionState for AmcState {
             // reuse — but the union and the search run entirely in
             // workspace buffers.
             let AnalysisWorkspace {
-                idx, idx2, tasks, ..
+                idx,
+                idx2,
+                tasks,
+                soa,
+                ..
             } = ws;
             tasks.clear();
             tasks.extend_from_slice(self.committed.tasks.as_slice());
             tasks.push(*task);
-            let ok = audsley_lowest_first(tasks, idx, idx2);
+            let ok = audsley_lowest_first(tasks, soa, idx, idx2);
             self.committed.record(false, ok);
             return ok;
         }
+        let mut insert_at = None;
         let ok = if self.cache_valid {
+            let committed = self.committed.tasks.as_slice();
+            let p = dm_insert_pos(committed, &self.cache, task);
+            // Fixpoints the probe can warm-start from cached bounds: the
+            // whole committed suffix at or below the insertion point.
+            let warm = (committed.len() - p)
+                + match self.variant {
+                    AmcVariant::RtbDm => self.soa.hc_len() - self.soa.hc_rank_below(p),
+                    _ => 0,
+                };
+            self.committed.stats.rta_seeded += warm as u64;
+            // Delta-update the lane view for the probe, undone below —
+            // commit() re-inserts if the probe's analysis is adopted.
+            self.soa.insert(p, task);
             let ok = admit_incremental_into(
-                self.committed.tasks.as_slice(),
+                committed,
                 &self.cache,
                 task,
+                p,
                 self.variant,
+                &self.soa,
                 &mut ws.tasks,
                 &mut ws.streams,
                 &mut ws.hc,
                 &mut self.scratch,
             );
+            self.soa.remove(p);
+            insert_at = Some(p);
             self.committed.record(true, ok);
             ok
         } else {
             // Committed set not known schedulable (e.g. after an
             // unchecked commit): fall back to a full analysis of the
-            // union, exactly the one-shot verdict.
+            // union, exactly the one-shot verdict. analyze_into leaves
+            // `soa` holding the union's lanes, which is precisely the
+            // committed view if this probe gets committed.
             let AnalysisWorkspace {
                 tasks, streams, hc, ..
             } = ws;
             tasks.clear();
             tasks.extend_from_slice(self.committed.tasks.as_slice());
             tasks.push(*task);
-            let ok = analyze_into(tasks, self.variant, streams, hc, &mut self.scratch);
+            let ok = analyze_into(
+                tasks,
+                self.variant,
+                true,
+                &mut self.soa,
+                streams,
+                hc,
+                &mut self.scratch,
+            );
             self.committed.record(false, ok);
             ok
         };
         self.pending = if ok { Some(task.id()) } else { None };
+        self.pending_insert = if ok { insert_at } else { None };
         ok
     }
 
     fn commit(&mut self, task: Task) {
         match self.pending.take() {
             Some(id) if id == task.id() => {
+                if let Some(p) = self.pending_insert.take() {
+                    self.soa.insert(p, &task);
+                }
                 self.committed.push(task);
                 // Adopt the probe's analysis by swapping buffers — the
                 // displaced cache becomes the next probe's scratch.
@@ -1106,6 +1902,44 @@ impl AdmissionState for AmcState {
     }
 }
 
+/// The batched kernel's low-mode response times, indexed by task; `None`
+/// when some task misses its deadline in low mode. Must equal
+/// [`reference::lo_responses`] bit-identically (asserted by
+/// `tests/analysis_workspace.rs` and the `micro_tests` bench).
+#[doc(hidden)]
+pub fn lo_responses_batched(ts: &TaskSet) -> Option<Vec<Time>> {
+    let order = dm_order(ts);
+    let mut lo = vec![Time::ZERO; ts.len()];
+    AnalysisWorkspace::with(|ws| {
+        ws.soa.load_primary(ts.as_slice(), &order);
+        lo_rta_batched(&ws.soa, &order, 0, |_| 0, &mut lo)
+    })
+    .then_some(lo)
+}
+
+/// The batched AMC-rtb analysis: `None` when low-mode RTA fails,
+/// otherwise `(verdict, bounds)` where `bounds[i]` is the high-mode bound
+/// of HC task `i` **if its fixpoint was reached** (on a `false` verdict
+/// the kernel stops at the first infeasible block, so later tasks stay
+/// `None`). On a `true` verdict every HC bound must equal
+/// [`reference::amc_rtb_response`] bit-identically.
+#[doc(hidden)]
+pub fn amc_rtb_bounds_batched(ts: &TaskSet) -> Option<(bool, Vec<Option<Time>>)> {
+    let order = dm_order(ts);
+    let mut lo = vec![Time::ZERO; ts.len()];
+    let mut hi = vec![None; ts.len()];
+    let mut verdict = false;
+    AnalysisWorkspace::with(|ws| {
+        ws.soa.load(ts.as_slice(), &order);
+        if !lo_rta_batched(&ws.soa, &order, 0, |_| 0, &mut lo) {
+            return false;
+        }
+        verdict = rtb_batched(&ws.soa, &order, 0, &lo, |_| 0, &mut hi);
+        true
+    })
+    .then_some((verdict, hi))
+}
+
 /// Seed (allocating) AMC implementations retained **verbatim** as the
 /// equivalence reference for the streaming, workspace-backed hot path.
 ///
@@ -1117,23 +1951,39 @@ impl AdmissionState for AmcState {
 pub mod reference {
     use super::*;
 
-    /// The seed AMC-rtb one-shot verdict (per-call allocating path).
+    /// The seed AMC-rtb one-shot verdict (per-call allocating path, with
+    /// the seed's per-iteration interference re-derivation).
     pub fn amc_rtb_is_schedulable(ts: &TaskSet) -> bool {
-        amc_schedulable(ts, |ctx, i| ctx.rtb_response(i))
+        amc_schedulable(ts, |ctx, pos| ctx.rtb_response_reference(pos))
     }
 
     /// The seed AMC-max one-shot verdict: materialise + sort + dedup the
     /// candidate switch instants per task, then re-derive every
     /// interference term at each candidate.
     pub fn amc_max_is_schedulable(ts: &TaskSet) -> bool {
-        amc_schedulable(ts, |ctx, i| ctx.max_bound_reference(i))
+        amc_schedulable(ts, |ctx, pos| ctx.max_bound_reference(pos))
+    }
+
+    /// The seed scalar low-mode response times, indexed by task; `None`
+    /// when some task misses its deadline in low mode. The batched kernel
+    /// must reproduce these bit-identically.
+    pub fn lo_responses(ts: &TaskSet) -> Option<Vec<Time>> {
+        lo_rta_scalar(ts.as_slice(), &dm_order(ts))
+    }
+
+    /// The seed scalar AMC-rtb high-mode bound of `task_index`; outer
+    /// `None` when low-mode RTA fails, inner `None` when the fixpoint
+    /// exceeds the deadline. The batched kernel must reproduce this
+    /// bit-identically for every HC task.
+    pub fn amc_rtb_response(ts: &TaskSet, task_index: usize) -> Option<Option<Time>> {
+        with_ctx(ts, |ctx| ctx.rtb_response_reference(ctx.pos_of(task_index)))
     }
 
     /// The sorted-deduplicated candidate switch instants of `task_index`
     /// under the seed implementation; `None` when the set fails low-mode
     /// RTA (candidates are then undefined).
     pub fn amc_max_candidates(ts: &TaskSet, task_index: usize) -> Option<Vec<Time>> {
-        with_ctx(ts, |ctx| ctx.switch_candidates(task_index))
+        with_ctx(ts, |ctx| ctx.switch_candidates(ctx.pos_of(task_index)))
     }
 
     /// The candidate instants the streaming walk visits, in visit order
@@ -1143,7 +1993,7 @@ pub mod reference {
             let mut streams = Vec::new();
             let mut slots = Vec::new();
             ctx.fold_candidates(
-                task_index,
+                ctx.pos_of(task_index),
                 &mut streams,
                 &mut slots,
                 Vec::new(),
@@ -1160,7 +2010,7 @@ pub mod reference {
     /// low-mode RTA fails, inner `None` when some switch instant is
     /// infeasible.
     pub fn amc_max_bound(ts: &TaskSet, task_index: usize) -> Option<Option<Time>> {
-        with_ctx(ts, |ctx| ctx.max_bound_reference(task_index))
+        with_ctx(ts, |ctx| ctx.max_bound_reference(ctx.pos_of(task_index)))
     }
 
     /// The streaming AMC-max response bound of `task_index` (must equal
@@ -1169,13 +2019,13 @@ pub mod reference {
         with_ctx(ts, |ctx| {
             let mut streams = Vec::new();
             let mut slots = Vec::new();
-            ctx.max_bound_in(task_index, &mut streams, &mut slots)
+            ctx.max_bound_in(ctx.pos_of(task_index), &mut streams, &mut slots)
         })
     }
 
     fn with_ctx<R>(ts: &TaskSet, f: impl FnOnce(&AmcContext<'_>) -> R) -> Option<R> {
         let order = dm_order(ts);
-        let lo_resp = LoRta::compute_with_order(ts, &order)?;
+        let lo_resp = lo_rta_scalar(ts.as_slice(), &order)?;
         let ctx = AmcContext {
             tasks: ts.as_slice(),
             order: &order,
@@ -1202,6 +2052,52 @@ mod tests {
             Task::lo_constrained(2, 40, 1, 5).unwrap(),
         ]);
         assert_eq!(dm_order(&ts), vec![2, 1, 0]);
+    }
+
+    /// The 19-comparator 8-input network in `dm_order_into`, checked by
+    /// the 0-1 principle: a comparator network sorts every input iff it
+    /// sorts all 2^8 zero-one vectors.
+    #[test]
+    fn dm_sorting_network_is_correct() {
+        for bits in 0u16..256 {
+            let mut keys: [u128; 8] = core::array::from_fn(|i| u128::from(bits >> i & 1));
+            cas_sort8(&mut keys);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "bits {bits:#010b}");
+        }
+    }
+
+    /// The network path (n ≤ 8), the packed-key path (n ≤ 64), and the
+    /// comparator fallback must order identically across the boundary
+    /// sizes, including deadline ties broken by id.
+    #[test]
+    fn dm_order_paths_agree() {
+        for n in [1usize, 7, 8, 9, 16] {
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| {
+                    // Deliberate deadline collisions (i / 2) force the
+                    // id tiebreak.
+                    Task::lo_constrained(i as u32, 100, 1, 10 + (i as u64 / 2)).unwrap()
+                })
+                .collect();
+            let mut idx = Vec::new();
+            dm_order_into(&tasks, &mut idx);
+            let mut want: Vec<usize> = (0..n).collect();
+            want.sort_by_key(|&i| (tasks[i].deadline(), tasks[i].id()));
+            assert_eq!(idx, want, "n = {n}");
+        }
+        // Deadlines past 2^32 and ids past 2^16 leave the packed-u64
+        // route for the u128 network; the order must not change.
+        let tasks: Vec<Task> = (0..6)
+            .map(|i| {
+                Task::lo_constrained(u32::MAX - i, 1 << 40, 1, (1 << 33) + u64::from(i / 2))
+                    .unwrap()
+            })
+            .collect();
+        let mut idx = Vec::new();
+        dm_order_into(&tasks, &mut idx);
+        let mut want: Vec<usize> = (0..6).collect();
+        want.sort_by_key(|&i| (tasks[i].deadline(), tasks[i].id()));
+        assert_eq!(idx, want, "u128 fallback");
     }
 
     #[test]
@@ -1536,6 +2432,129 @@ mod tests {
         assert!(state.try_admit(&ts.as_slice()[0]));
         state.commit(ts.as_slice()[0]);
         assert!(state.try_admit(&ts.as_slice()[1]));
+    }
+
+    #[test]
+    fn dc_inv_is_exact() {
+        // The reciprocal division must agree with the hardware divide on
+        // every input: structured edges plus a deterministic random sweep
+        // over the full u64 range.
+        let edges = [
+            0u64,
+            1,
+            2,
+            3,
+            5,
+            7,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            (1 << 63) - 1,
+            1 << 63,
+            (1 << 63) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let check = |a: u64, b: u64| {
+            let m = crate::workspace::inv64(b);
+            assert_eq!(dc_inv(a, b, m), dc(a, b), "dc_inv({a}, {b}) diverged");
+        };
+        for &b in &edges[1..] {
+            for &a in &edges {
+                check(a, b);
+                check(a.saturating_add(1), b);
+                check(a.wrapping_sub(1), b);
+                check(a, b.saturating_add(1));
+            }
+        }
+        // xorshift64* sweep: divisors and dividends across all magnitudes.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..200_000 {
+            let a = next();
+            let b = next().max(1);
+            check(a, b);
+            check(a, b >> (b % 63) as u32 | 1);
+            check(a >> (a % 63) as u32, b);
+        }
+    }
+
+    #[test]
+    fn fixpoint_add_saturates_at_near_max_wcet() {
+        // Regression: `wcet + interference(r)` in `fixpoint_from` was an
+        // unguarded add that wrapped for parameters near 2^63 (each
+        // product stays in range — 2^63 · ⌈2^63/(2^63+2)⌉ = 2^63 — but
+        // the final add reaches 2^64). The saturated sum exceeds every
+        // finite deadline, so both paths must reject without panicking.
+        let big = 1u64 << 63;
+        let ts = set(vec![
+            Task::hi_constrained(0, big + 2, big, big, big + 1).unwrap(),
+            Task::hi_constrained(1, big + 4, big, big, big + 2).unwrap(),
+        ]);
+        assert!(LoRta::compute(&ts).is_none());
+        assert!(lo_responses_batched(&ts).is_none());
+        assert_eq!(reference::lo_responses(&ts), None);
+        assert!(!AmcRtb::new().is_schedulable(&ts));
+        assert!(!reference::amc_rtb_is_schedulable(&ts));
+        assert!(!AmcMax::new().is_schedulable(&ts));
+        assert!(!AmcRtb::with_audsley().is_schedulable(&ts));
+        // A single near-max task alone stays feasible in every path (the
+        // fixpoint is hit before anything can saturate).
+        let alone = set(vec![
+            Task::hi_constrained(0, big + 2, big, big, big + 1).unwrap()
+        ]);
+        assert!(AmcRtb::new().is_schedulable(&alone));
+        assert!(AmcRtb::with_audsley().is_schedulable(&alone));
+        assert_eq!(
+            lo_responses_batched(&alone),
+            Some(vec![Time::new(big)]),
+            "lone near-max task's LO response is its own budget"
+        );
+    }
+
+    #[test]
+    fn batched_rtb_matches_reference_on_grid() {
+        // Grid sweep: batched LO responses, rtb verdicts and rtb bounds
+        // must be bit-identical to the retained scalar reference.
+        for ch in 3..=8u64 {
+            for cl2 in 1..=4u64 {
+                for c3 in 1..=6u64 {
+                    let ts = set(vec![
+                        Task::hi(0, 12, 2, ch).unwrap(),
+                        Task::hi(1, 20, cl2, cl2 + 3).unwrap(),
+                        Task::lo(2, 15, c3).unwrap(),
+                    ]);
+                    assert_eq!(
+                        lo_responses_batched(&ts),
+                        reference::lo_responses(&ts),
+                        "LO responses diverged on {ts}"
+                    );
+                    let verdict = reference::amc_rtb_is_schedulable(&ts);
+                    match amc_rtb_bounds_batched(&ts) {
+                        None => assert!(!verdict, "batched LO failed on rtb-feasible {ts}"),
+                        Some((v, bounds)) => {
+                            assert_eq!(v, verdict, "rtb verdict diverged on {ts}");
+                            if v {
+                                for (i, t) in ts.as_slice().iter().enumerate() {
+                                    if t.criticality() == Criticality::High {
+                                        assert_eq!(
+                                            Some(bounds[i]),
+                                            reference::amc_rtb_response(&ts, i),
+                                            "rtb bound diverged for τ{i} of {ts}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

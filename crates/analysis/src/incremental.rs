@@ -93,6 +93,11 @@ pub struct AdmissionStats {
     /// Low-mode feasibility checks the demand kernel rejected from a
     /// memoised violation anchor, with no descent at all.
     pub qpa_anchor_hits: u64,
+    /// Response-time fixpoints the AMC admission layer seeded from a
+    /// cached sound lower bound instead of iterating from the task's own
+    /// budget (warm-started suffix fixpoints of incremental probes; zero
+    /// for the non-AMC tests).
+    pub rta_seeded: u64,
 }
 
 impl AdmissionStats {
@@ -105,6 +110,7 @@ impl AdmissionStats {
         self.qpa_cold += other.qpa_cold;
         self.qpa_resumed += other.qpa_resumed;
         self.qpa_anchor_hits += other.qpa_anchor_hits;
+        self.rta_seeded += other.rta_seeded;
     }
 }
 
@@ -121,6 +127,9 @@ impl fmt::Display for AdmissionStats {
                 ", QPA {} cold / {} resumed / {} anchor-rejected",
                 self.qpa_cold, self.qpa_resumed, self.qpa_anchor_hits
             )?;
+        }
+        if self.rta_seeded > 0 {
+            write!(f, ", {} RTA fixpoints warm-seeded", self.rta_seeded)?;
         }
         Ok(())
     }
@@ -566,6 +575,7 @@ mod tests {
             qpa_cold: 5,
             qpa_resumed: 3,
             qpa_anchor_hits: 2,
+            rta_seeded: 7,
         };
         a.merge(&b);
         assert_eq!(a.attempts, 4);
@@ -575,16 +585,19 @@ mod tests {
         assert_eq!(a.qpa_cold, 5);
         assert_eq!(a.qpa_resumed, 3);
         assert_eq!(a.qpa_anchor_hits, 2);
+        assert_eq!(a.rta_seeded, 7);
         let s = a.to_string();
         assert!(s.contains("4 attempts"));
         assert!(s.contains("2 incremental"));
         assert!(s.contains("3 resumed"));
-        // Zero QPA counters stay out of the short display.
+        assert!(s.contains("7 RTA fixpoints warm-seeded"));
+        // Zero QPA / RTA counters stay out of the short display.
         let plain = AdmissionStats {
             attempts: 1,
             ..AdmissionStats::default()
         };
         assert!(!plain.to_string().contains("QPA"));
+        assert!(!plain.to_string().contains("RTA"));
     }
 
     #[test]

@@ -40,10 +40,369 @@
 use crate::amc::{AmcScratch, CandStream, HcSlot};
 use crate::demand::DemandKernel;
 use crate::vdtune::Move;
-use mcsched_model::Task;
+use mcsched_model::{Criticality, Task};
 use std::cell::{RefCell, RefMut};
 use std::ops::Deref;
 use std::rc::Rc;
+
+/// Structure-of-arrays task view for the batched response-time kernels.
+///
+/// One position per task, **highest priority first** (whatever priority
+/// order the caller loads). Four contiguous `u64` lanes
+/// (`wcet_lo` / `wcet_hi` / `period` / `deadline`) turn the RTA
+/// interference sum into straight-line integer arithmetic over adjacent
+/// memory — no pointer-chasing through `Task` structs — and two
+/// *compacted* criticality views (`hc_*` / `lc_*`, each entry remembering
+/// its originating position) let the high-mode fixpoint iterate
+/// exclusively over the lanes that can actually move between iterations.
+///
+/// Maintained by delta under admission probes: [`SoaTasks::insert`]
+/// shifts the lanes (an `O(n)` memmove of plain integers) and
+/// [`SoaTasks::remove`] undoes it, so a probe never rebuilds the view
+/// and never allocates once the buffers have grown to the processor's
+/// high-water mark (pinned by `tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SoaTasks {
+    /// `C^L` per position.
+    pub(crate) wcet_lo: Vec<u64>,
+    /// `C^H` per position (`== C^L` for LC tasks).
+    pub(crate) wcet_hi: Vec<u64>,
+    /// `T` per position.
+    pub(crate) period: Vec<u64>,
+    /// [`inv64`] reciprocal of `T` per position, so the fixpoint sweeps
+    /// divide by multiplying (computed once per load/insert, reused by
+    /// every probe).
+    pub(crate) inv_period: Vec<u64>,
+    /// `D` per position.
+    pub(crate) deadline: Vec<u64>,
+    /// Criticality per position (`true` = HC).
+    pub(crate) hc: Vec<bool>,
+    /// Compacted HC view: `C^H` of the HC tasks in position order.
+    pub(crate) hc_wcet_hi: Vec<u64>,
+    /// Compacted HC view: `T` of the HC tasks in position order.
+    pub(crate) hc_period: Vec<u64>,
+    /// Compacted HC view: [`inv64`] reciprocal of `T`.
+    pub(crate) hc_inv_period: Vec<u64>,
+    /// Position of each compacted HC entry (strictly increasing).
+    pub(crate) hc_pos: Vec<usize>,
+    /// Compacted LC view: `C^L` of the LC tasks in position order.
+    pub(crate) lc_wcet_lo: Vec<u64>,
+    /// Compacted LC view: `T` of the LC tasks in position order.
+    pub(crate) lc_period: Vec<u64>,
+    /// Compacted LC view: [`inv64`] reciprocal of `T`.
+    pub(crate) lc_inv_period: Vec<u64>,
+    /// Position of each compacted LC entry (strictly increasing).
+    pub(crate) lc_pos: Vec<usize>,
+    /// Loaded tasks failing the per-task half of the fast-kernel
+    /// certificate (see [`SoaTasks::fast`]).
+    slow_tasks: usize,
+    /// Exact worst-case interference budget of the loaded tasks (see
+    /// [`SoaTasks::fast`]); `u128` so delta updates add and subtract the
+    /// per-task contribution without saturation losing information.
+    fast_budget: u128,
+}
+
+/// The precomputed reciprocal `⌊2^64 / d⌋` (saturated for `d == 1`) used
+/// by the batched kernels' exact division-by-multiplication: for any
+/// `n < 2^64`, `hi64(n · inv64(d))` is `⌊n/d⌋` or `⌊n/d⌋ − 1`, and one
+/// multiply-compare fixup recovers the exact quotient (see `dc_inv` in
+/// `amc.rs` for the proof sketch).
+/// Per-task half of the fast-kernel certificate over raw lane values
+/// (see [`SoaTasks::fast`]): the bounds predicate and the exact
+/// worst-case interference charge `max(C^L, C^H)·⌈(2^32−1)/T⌉`.
+fn cert_values(wl: u64, wh: u64, t: u64, d: u64, inv: u64) -> (bool, u128) {
+    const LIM: u64 = 1 << 32;
+    let ok = (1..LIM).contains(&wl) && (1..LIM).contains(&wh) && (2..LIM).contains(&t) && d < LIM;
+    if !ok {
+        return (false, 0);
+    }
+    let worst = crate::amc::dc_inv(LIM - 1, t, inv);
+    (true, wl.max(wh) as u128 * worst as u128)
+}
+
+pub(crate) fn inv64(d: u64) -> u64 {
+    if d == 1 {
+        return u64::MAX;
+    }
+    // ⌊2^64/d⌋ from one 64-bit divide: 2^64 = (u64::MAX) + 1, so the
+    // quotient only gains the carry when the remainder wraps to 0.
+    let q = u64::MAX / d;
+    let r = u64::MAX % d;
+    q + u64::from(r + 1 == d)
+}
+
+impl SoaTasks {
+    /// Number of loaded positions.
+    pub(crate) fn len(&self) -> usize {
+        self.period.len()
+    }
+
+    /// Whether the loaded set certifies the *fast* (unguarded) response
+    /// -time kernels: every `C^L`, `C^H` in `[1, 2^32)`, every `T` in
+    /// `[2, 2^32)`, every `D < 2^32`, and the worst-case interference
+    /// budget `Σ_j max(C^L_j, C^H_j)·⌈(2^32−1)/T_j⌉` leaves headroom
+    /// below `2^63`. Under this certificate every fixpoint iterate stays
+    /// `< 2^32` (it is deadline-checked before any sweep uses it), so
+    /// every `(r−1)·T` product fits `u64` — making the no-fixup
+    /// reciprocal ceiling division exact (see `dc_fast` in `amc.rs`) —
+    /// and no interference accumulator can overflow, so plain `+`/`*`
+    /// compute the same values the saturating guarded kernel would.
+    pub(crate) fn fast(&self) -> bool {
+        self.slow_tasks == 0 && self.fast_budget + (1u128 << 32) < (1u128 << 63)
+    }
+
+    /// The position's contribution to the fast-kernel certificate:
+    /// whether it satisfies the per-task bounds, and its exact worst-case
+    /// interference charge. Pure in the lane values, so
+    /// [`SoaTasks::remove`] subtracts exactly what
+    /// [`SoaTasks::insert`] added.
+    fn cert(&self, pos: usize) -> (bool, u128) {
+        cert_values(
+            self.wcet_lo[pos],
+            self.wcet_hi[pos],
+            self.period[pos],
+            self.deadline[pos],
+            self.inv_period[pos],
+        )
+    }
+
+    /// Charges position `pos` to the fast-kernel certificate.
+    fn cert_add(&mut self, pos: usize) {
+        let (ok, b) = self.cert(pos);
+        self.slow_tasks += usize::from(!ok);
+        self.fast_budget += b;
+    }
+
+    /// Undoes [`SoaTasks::cert_add`] for position `pos` (call before the
+    /// lanes shift).
+    fn cert_sub(&mut self, pos: usize) {
+        let (ok, b) = self.cert(pos);
+        self.slow_tasks -= usize::from(!ok);
+        self.fast_budget -= b;
+    }
+
+    /// Number of HC lanes in the compacted view.
+    pub(crate) fn hc_len(&self) -> usize {
+        self.hc_pos.len()
+    }
+
+    /// Whether the task at `pos` is high-criticality.
+    pub(crate) fn is_hc(&self, pos: usize) -> bool {
+        self.hc[pos]
+    }
+
+    /// Number of HC lanes at positions strictly above `pos` — also the
+    /// compacted-HC rank of `pos` itself when `pos` holds an HC task.
+    pub(crate) fn hc_rank_below(&self, pos: usize) -> usize {
+        self.hc_pos.partition_point(|&x| x < pos)
+    }
+
+    /// Empties the view, keeping the buffers for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.wcet_lo.clear();
+        self.wcet_hi.clear();
+        self.period.clear();
+        self.inv_period.clear();
+        self.deadline.clear();
+        self.hc.clear();
+        self.hc_wcet_hi.clear();
+        self.hc_period.clear();
+        self.hc_inv_period.clear();
+        self.hc_pos.clear();
+        self.lc_wcet_lo.clear();
+        self.lc_period.clear();
+        self.lc_inv_period.clear();
+        self.lc_pos.clear();
+        self.slow_tasks = 0;
+        self.fast_budget = 0;
+    }
+
+    /// Rebuilds the view as `tasks[order[0]], tasks[order[1]], …`.
+    ///
+    /// Lane-at-a-time: each output vector is filled in one contiguous
+    /// `extend` pass (the per-set build cost is on the one-shot hot path,
+    /// paid even by sets the analysis rejects at the first task).
+    pub(crate) fn load(&mut self, tasks: &[Task], order: &[usize]) {
+        self.load_primary(tasks, order);
+        self.build_compact();
+    }
+
+    /// The primary-lane half of [`SoaTasks::load`]: everything the
+    /// low-mode kernel reads. The one-shot analysis defers
+    /// [`SoaTasks::build_compact`] until low mode actually passes, so a
+    /// set rejected at the first phase never pays for the criticality
+    /// views.
+    ///
+    /// One fused pass: each task is read once and scattered into all six
+    /// lanes in place (resize + overwrite, no clear-and-extend), with the
+    /// fast-kernel certificate accumulated on the fly — the per-set build
+    /// cost is on the one-shot hot path, paid even by sets the analysis
+    /// rejects at the first task.
+    pub(crate) fn load_primary(&mut self, tasks: &[Task], order: &[usize]) {
+        let n = order.len();
+        self.hc_wcet_hi.clear();
+        self.hc_period.clear();
+        self.hc_inv_period.clear();
+        self.hc_pos.clear();
+        self.lc_wcet_lo.clear();
+        self.lc_period.clear();
+        self.lc_inv_period.clear();
+        self.lc_pos.clear();
+        self.wcet_lo.resize(n, 0);
+        self.wcet_hi.resize(n, 0);
+        self.period.resize(n, 0);
+        self.inv_period.resize(n, 0);
+        self.deadline.resize(n, 0);
+        self.hc.resize(n, false);
+        let mut slow = 0usize;
+        let mut budget = 0u128;
+        let lanes = self
+            .wcet_lo
+            .iter_mut()
+            .zip(&mut self.wcet_hi)
+            .zip(&mut self.period)
+            .zip(&mut self.inv_period)
+            .zip(&mut self.deadline)
+            .zip(&mut self.hc);
+        for (&i, lane) in order.iter().zip(lanes) {
+            let (((((wl, wh), per), inv), dl), hc) = lane;
+            let t = &tasks[i];
+            *wl = t.wcet_lo().as_ticks();
+            *wh = t.wcet_hi().as_ticks();
+            *per = t.period().as_ticks();
+            *inv = inv64(*per);
+            *dl = t.deadline().as_ticks();
+            *hc = t.criticality() == Criticality::High;
+            let (ok, b) = cert_values(*wl, *wh, *per, *dl, *inv);
+            slow += usize::from(!ok);
+            budget += b;
+        }
+        self.slow_tasks = slow;
+        self.fast_budget = budget;
+    }
+
+    /// The criticality-view half of [`SoaTasks::load`]; requires the
+    /// matching [`SoaTasks::load_primary`] to have run (the views are
+    /// compacted from the primary lanes, so the periods' reciprocals are
+    /// copied rather than re-divided).
+    pub(crate) fn build_compact(&mut self) {
+        for pos in 0..self.len() {
+            self.push_compact(pos);
+        }
+    }
+
+    /// Rebuilds the view in slice order (`order = 0..n`).
+    pub(crate) fn load_seq(&mut self, tasks: &[Task]) {
+        self.clear();
+        self.wcet_lo
+            .extend(tasks.iter().map(|t| t.wcet_lo().as_ticks()));
+        self.wcet_hi
+            .extend(tasks.iter().map(|t| t.wcet_hi().as_ticks()));
+        self.period
+            .extend(tasks.iter().map(|t| t.period().as_ticks()));
+        self.inv_period
+            .extend(self.period.iter().map(|&t| inv64(t)));
+        self.deadline
+            .extend(tasks.iter().map(|t| t.deadline().as_ticks()));
+        self.hc
+            .extend(tasks.iter().map(|t| t.criticality() == Criticality::High));
+        for pos in 0..tasks.len() {
+            self.cert_add(pos);
+            self.push_compact(pos);
+        }
+    }
+
+    /// Appends position `pos`'s compacted criticality-view entry from the
+    /// primary lanes (positions must be appended in increasing order,
+    /// after the primary lanes are filled).
+    fn push_compact(&mut self, pos: usize) {
+        if self.hc[pos] {
+            self.hc_wcet_hi.push(self.wcet_hi[pos]);
+            self.hc_period.push(self.period[pos]);
+            self.hc_inv_period.push(self.inv_period[pos]);
+            self.hc_pos.push(pos);
+        } else {
+            self.lc_wcet_lo.push(self.wcet_lo[pos]);
+            self.lc_period.push(self.period[pos]);
+            self.lc_inv_period.push(self.inv_period[pos]);
+            self.lc_pos.push(pos);
+        }
+    }
+
+    /// Inserts `t` at priority position `pos`, shifting lower priorities
+    /// down (the admission probe's delta update; `O(n)` lane memmoves,
+    /// allocation-free at capacity).
+    pub(crate) fn insert(&mut self, pos: usize, t: &Task) {
+        self.wcet_lo.insert(pos, t.wcet_lo().as_ticks());
+        self.wcet_hi.insert(pos, t.wcet_hi().as_ticks());
+        self.period.insert(pos, t.period().as_ticks());
+        self.inv_period.insert(pos, inv64(t.period().as_ticks()));
+        self.deadline.insert(pos, t.deadline().as_ticks());
+        self.cert_add(pos);
+        for x in &mut self.hc_pos {
+            if *x >= pos {
+                *x += 1;
+            }
+        }
+        for x in &mut self.lc_pos {
+            if *x >= pos {
+                *x += 1;
+            }
+        }
+        match t.criticality() {
+            Criticality::High => {
+                self.hc.insert(pos, true);
+                let rank = self.hc_pos.partition_point(|&x| x < pos);
+                self.hc_wcet_hi.insert(rank, t.wcet_hi().as_ticks());
+                self.hc_period.insert(rank, t.period().as_ticks());
+                self.hc_inv_period.insert(rank, self.inv_period[pos]);
+                self.hc_pos.insert(rank, pos);
+            }
+            Criticality::Low => {
+                self.hc.insert(pos, false);
+                let rank = self.lc_pos.partition_point(|&x| x < pos);
+                self.lc_wcet_lo.insert(rank, t.wcet_lo().as_ticks());
+                self.lc_period.insert(rank, t.period().as_ticks());
+                self.lc_inv_period.insert(rank, self.inv_period[pos]);
+                self.lc_pos.insert(rank, pos);
+            }
+        }
+    }
+
+    /// Removes the task at priority position `pos` (undoes
+    /// [`SoaTasks::insert`]).
+    pub(crate) fn remove(&mut self, pos: usize) {
+        self.cert_sub(pos);
+        self.wcet_lo.remove(pos);
+        self.wcet_hi.remove(pos);
+        self.period.remove(pos);
+        self.inv_period.remove(pos);
+        self.deadline.remove(pos);
+        if self.hc.remove(pos) {
+            let rank = self.hc_pos.partition_point(|&x| x < pos);
+            self.hc_wcet_hi.remove(rank);
+            self.hc_period.remove(rank);
+            self.hc_inv_period.remove(rank);
+            self.hc_pos.remove(rank);
+        } else {
+            let rank = self.lc_pos.partition_point(|&x| x < pos);
+            self.lc_wcet_lo.remove(rank);
+            self.lc_period.remove(rank);
+            self.lc_inv_period.remove(rank);
+            self.lc_pos.remove(rank);
+        }
+        for x in &mut self.hc_pos {
+            if *x > pos {
+                *x -= 1;
+            }
+        }
+        for x in &mut self.lc_pos {
+            if *x > pos {
+                *x -= 1;
+            }
+        }
+    }
+}
 
 /// Scratch buffers shared by the analysis hot paths.
 ///
@@ -66,6 +425,10 @@ pub struct AnalysisWorkspace {
     /// The one-shot AMC analysis (order / responses) — the workspace path
     /// runs exactly the incremental layer's `analyze_into` over it.
     pub(crate) amc: AmcScratch,
+    /// SoA lane view for the batched response-time kernels (the one-shot
+    /// and Audsley paths; the incremental `AmcState`s keep their own
+    /// per-processor view mirroring the committed cache).
+    pub(crate) soa: SoaTasks,
     /// The incremental demand kernel: the virtual-deadline assignment
     /// under analysis plus its memoised QPA state (EY / ECDF, classic
     /// EDF, and the public one-shot demand checks).
@@ -167,6 +530,102 @@ impl Drop for PooledWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn soa_fixture() -> (Vec<Task>, SoaTasks) {
+        let tasks = vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 5).unwrap(),
+            Task::hi(2, 25, 3, 6).unwrap(),
+            Task::lo(3, 12, 1).unwrap(),
+        ];
+        let mut soa = SoaTasks::default();
+        soa.load_seq(&tasks);
+        (tasks, soa)
+    }
+
+    /// Structural invariants a correctly maintained view always satisfies.
+    fn assert_soa_matches(soa: &SoaTasks, tasks: &[Task]) {
+        assert_eq!(soa.len(), tasks.len());
+        for (pos, t) in tasks.iter().enumerate() {
+            assert_eq!(soa.wcet_lo[pos], t.wcet_lo().as_ticks());
+            assert_eq!(soa.wcet_hi[pos], t.wcet_hi().as_ticks());
+            assert_eq!(soa.period[pos], t.period().as_ticks());
+            assert_eq!(soa.inv_period[pos], inv64(t.period().as_ticks()));
+            assert_eq!(soa.deadline[pos], t.deadline().as_ticks());
+            assert_eq!(soa.is_hc(pos), t.criticality() == Criticality::High);
+        }
+        // Compacted views cover exactly the HC / LC positions, in order.
+        let hc: Vec<usize> = (0..tasks.len()).filter(|&p| soa.hc[p]).collect();
+        let lc: Vec<usize> = (0..tasks.len()).filter(|&p| !soa.hc[p]).collect();
+        assert_eq!(soa.hc_pos, hc);
+        assert_eq!(soa.lc_pos, lc);
+        for (rank, &p) in soa.hc_pos.iter().enumerate() {
+            assert_eq!(soa.hc_wcet_hi[rank], tasks[p].wcet_hi().as_ticks());
+            assert_eq!(soa.hc_period[rank], tasks[p].period().as_ticks());
+            assert_eq!(soa.hc_inv_period[rank], inv64(tasks[p].period().as_ticks()));
+        }
+        for (rank, &p) in soa.lc_pos.iter().enumerate() {
+            assert_eq!(soa.lc_wcet_lo[rank], tasks[p].wcet_lo().as_ticks());
+            assert_eq!(soa.lc_period[rank], tasks[p].period().as_ticks());
+            assert_eq!(soa.lc_inv_period[rank], inv64(tasks[p].period().as_ticks()));
+        }
+    }
+
+    #[test]
+    fn soa_load_builds_both_views() {
+        let (tasks, soa) = soa_fixture();
+        assert_soa_matches(&soa, &tasks);
+        assert_eq!(soa.hc_len(), 2);
+        assert_eq!(soa.hc_rank_below(0), 0);
+        assert_eq!(soa.hc_rank_below(2), 1);
+        assert_eq!(soa.hc_rank_below(4), 2);
+    }
+
+    #[test]
+    fn soa_insert_remove_round_trips() {
+        let (mut tasks, mut soa) = soa_fixture();
+        let cand = Task::hi(9, 15, 2, 5).unwrap();
+        // Insert at every position, check, then remove and check we are
+        // back to the original view (delta maintenance is exact).
+        for pos in 0..=tasks.len() {
+            soa.insert(pos, &cand);
+            tasks.insert(pos, cand);
+            assert_soa_matches(&soa, &tasks);
+            soa.remove(pos);
+            tasks.remove(pos);
+            assert_soa_matches(&soa, &tasks);
+        }
+        // And an LC candidate through the same paces.
+        let cand = Task::lo(9, 15, 2).unwrap();
+        for pos in 0..=tasks.len() {
+            soa.insert(pos, &cand);
+            tasks.insert(pos, cand);
+            assert_soa_matches(&soa, &tasks);
+            soa.remove(pos);
+            tasks.remove(pos);
+            assert_soa_matches(&soa, &tasks);
+        }
+    }
+
+    #[test]
+    fn soa_delta_equals_rebuild() {
+        let (tasks, mut soa) = soa_fixture();
+        let cand = Task::lo_constrained(7, 30, 2, 18).unwrap();
+        soa.insert(2, &cand);
+        let mut rebuilt: Vec<Task> = tasks.clone();
+        rebuilt.insert(2, cand);
+        let mut fresh = SoaTasks::default();
+        fresh.load_seq(&rebuilt);
+        assert_eq!(soa.wcet_lo, fresh.wcet_lo);
+        assert_eq!(soa.wcet_hi, fresh.wcet_hi);
+        assert_eq!(soa.period, fresh.period);
+        assert_eq!(soa.deadline, fresh.deadline);
+        assert_eq!(soa.hc, fresh.hc);
+        assert_eq!(soa.hc_pos, fresh.hc_pos);
+        assert_eq!(soa.lc_pos, fresh.lc_pos);
+        assert_eq!(soa.hc_wcet_hi, fresh.hc_wcet_hi);
+        assert_eq!(soa.lc_wcet_lo, fresh.lc_wcet_lo);
+    }
 
     #[test]
     fn with_reuses_thread_local_buffers() {

@@ -11,6 +11,11 @@
 //!   seed implementation (materialise + sort + dedup candidates, per-call
 //!   vectors) vs the streaming workspace path, verdicts asserted
 //!   bit-identical before any measurement;
+//! * `amc_rtb_batched` — AMC-rtb through the SoA lane kernels: the
+//!   retained scalar seed (per-task `div_ceil` recurrences over `&[Task]`)
+//!   vs the workspace path (fast-kernel certificate, reciprocal division,
+//!   small-set scalar route / multi-block Jacobi lanes), verdicts asserted
+//!   bit-identical before any measurement;
 //! * `vdtune_kernel` — the EY / ECDF tuners: the retained seed stack
 //!   (flat per-call QPA from the busy-window bound) vs the incremental
 //!   demand kernel (warm-resumed fixpoints + memoised violation
@@ -21,6 +26,7 @@ use mcsched_analysis::amc::reference;
 use mcsched_analysis::vdtune::reference as vd_reference;
 use mcsched_analysis::{AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest};
 use mcsched_bench::{fixture_sets, midload_point, BENCH_SEED};
+use mcsched_exp::analysis_perf::uniprocessor_corpus;
 use mcsched_gen::{DeadlineModel, GridPoint, TaskSetSpec};
 use mcsched_model::TaskSet;
 use rand::{rngs::StdRng, SeedableRng};
@@ -122,6 +128,43 @@ fn bench_amcmax_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_amc_rtb_batched(c: &mut Criterion) {
+    // Two corpus shapes, matching the kernel's two routes: admission-sized
+    // sets (n ≤ 10, the small-set scalar route over SoA lanes) and wide
+    // sets (n ≥ 20, multiple 8-lane Jacobi blocks).
+    let small = uniprocessor_corpus(2, 256, BENCH_SEED);
+    let wide = large_sets();
+    let test = AmcRtb::new();
+    let mut ws = AnalysisWorkspace::new();
+    for ts in small.iter().chain(&wide) {
+        assert_eq!(
+            test.is_schedulable_in(ts, &mut ws),
+            reference::amc_rtb_is_schedulable(ts),
+            "batched/seed divergence on an n={} set",
+            ts.len()
+        );
+    }
+    let mut group = c.benchmark_group("amc_rtb_batched");
+    for (shape, sets) in [("scalar-route", &small), ("n20-blocks", &wide)] {
+        group.bench_with_input(BenchmarkId::new(shape, "reference"), sets, |b, sets| {
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| reference::amc_rtb_is_schedulable(std::hint::black_box(ts)))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new(shape, "workspace"), sets, |b, sets| {
+            let mut ws = AnalysisWorkspace::new();
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Generator-shaped uniprocessor-load sets for the tuner bench: the same
 /// shape the EY/ECDF tests see inside the partitioning inner loop, with
 /// enough HC overrun that the greedy descent iterates (one-round accepts
@@ -207,6 +250,7 @@ criterion_group!(
     benches,
     bench_tests,
     bench_amcmax_streaming,
+    bench_amc_rtb_batched,
     bench_vdtune_kernel
 );
 criterion_main!(benches);

@@ -115,16 +115,18 @@ pub fn admission_profile(
 /// The three `qpa *` columns surface the demand kernel's fixpoint reuse
 /// (EY / ECDF states): descents started cold from the busy-window bound,
 /// checks answered warm from the previous fixpoint, and low-mode probes
-/// rejected by a memoised violation anchor with no descent at all.
+/// rejected by a memoised violation anchor with no descent at all. The
+/// `rta seeded` column is the AMC analogue: response-time fixpoints an
+/// incremental probe warm-started from cached sound lower bounds.
 pub fn render_admission(rows: &[AdmissionRow]) -> String {
     let mut out = String::from(
         "| algorithm | sets | accepted | attempts | admits | incremental | full \
-         | qpa cold | qpa resumed | qpa anchor |\n\
-         |----|----|----|----|----|----|----|----|----|----|\n",
+         | qpa cold | qpa resumed | qpa anchor | rta seeded |\n\
+         |----|----|----|----|----|----|----|----|----|----|----|\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             r.algorithm,
             r.sets,
             r.accepted,
@@ -134,7 +136,8 @@ pub fn render_admission(rows: &[AdmissionRow]) -> String {
             r.stats.full,
             r.stats.qpa_cold,
             r.stats.qpa_resumed,
-            r.stats.qpa_anchor_hits
+            r.stats.qpa_anchor_hits,
+            r.stats.rta_seeded
         ));
     }
     out
@@ -199,10 +202,22 @@ mod tests {
                     r.algorithm
                 );
             }
+            // The AMC states report warm-seeded suffix fixpoints whenever
+            // any probe ran incrementally.
+            if (r.algorithm.contains("AMC-rtb") && !r.algorithm.contains("OPA"))
+                || r.algorithm.contains("AMC-max")
+            {
+                assert!(
+                    r.stats.incremental == 0 || r.stats.rta_seeded > 0,
+                    "{}: incremental AMC probes but no seeded fixpoints",
+                    r.algorithm
+                );
+            }
         }
         let table = render_admission(&rows);
         assert!(table.contains("incremental"));
         assert!(table.contains("qpa resumed"));
+        assert!(table.contains("rta seeded"));
     }
 
     #[test]

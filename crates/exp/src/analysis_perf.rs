@@ -210,6 +210,45 @@ pub fn analysis_throughput(m_values: &[usize], sets: usize, seed: u64) -> Analys
     }
 }
 
+/// Parses a `TEST:MIN` speedup gate (e.g. `AMC-rtb:1.5`).
+pub fn parse_gate(spec: &str) -> Result<(String, f64), String> {
+    let (test, min) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad --gate `{spec}` (expected TEST:MIN, e.g. AMC-rtb:1.5)"))?;
+    let min: f64 = min
+        .parse()
+        .map_err(|e| format!("bad --gate `{spec}`: {e}"))?;
+    if test.is_empty() || !min.is_finite() || min <= 0.0 {
+        return Err(format!(
+            "bad --gate `{spec}` (expected TEST:MIN with MIN > 0)"
+        ));
+    }
+    Ok((test.to_string(), min))
+}
+
+/// Checks speedup gates against every matching `(test, m)` row. Returns
+/// one message per violation (or unknown test name); empty means pass.
+pub fn check_gates(report: &AnalysisPerfReport, gates: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (test, min) in gates {
+        let mut seen = false;
+        for r in report.rows.iter().filter(|r| &r.test == test) {
+            seen = true;
+            if r.speedup < *min {
+                failures.push(format!(
+                    "{} at m={}: speedup {:.2}x below the {min:.2}x gate \
+                     (reference {:.1} ms vs workspace {:.1} ms)",
+                    r.test, r.m, r.speedup, r.reference_ms, r.workspace_ms
+                ));
+            }
+        }
+        if !seen {
+            failures.push(format!("gate names unknown test `{test}`"));
+        }
+    }
+    failures
+}
+
 /// Writes the report as pretty-printed JSON.
 pub fn write_analysis_json(report: &AnalysisPerfReport, path: &Path) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(report)
@@ -250,6 +289,47 @@ mod tests {
         let table = render_analysis_perf(&report);
         assert!(table.contains("speedup"));
         assert!(table.contains("AMC-max"));
+    }
+
+    #[test]
+    fn gates_parse_and_check() {
+        assert_eq!(
+            parse_gate("AMC-rtb:1.5").unwrap(),
+            ("AMC-rtb".to_string(), 1.5)
+        );
+        assert!(parse_gate("AMC-rtb").is_err());
+        assert!(parse_gate("AMC-rtb:zero").is_err());
+        assert!(parse_gate(":1.5").is_err());
+        assert!(parse_gate("AMC-rtb:-1").is_err());
+
+        let row = |test: &str, m: usize, speedup: f64| AnalysisPerfRow {
+            test: test.to_string(),
+            m,
+            sets: 10,
+            tasks: 40,
+            accepted: 5,
+            reference_ms: speedup,
+            workspace_ms: 1.0,
+            speedup,
+        };
+        let report = AnalysisPerfReport {
+            seed: 1,
+            sets_per_cell: 10,
+            rows: vec![
+                row("AMC-rtb", 2, 1.7),
+                row("AMC-rtb", 4, 1.2),
+                row("AMC-max", 2, 2.0),
+            ],
+        };
+        // A gate applies to every m-row of its test.
+        let failures = check_gates(&report, &[("AMC-rtb".to_string(), 1.5)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("m=4"), "{failures:?}");
+        assert!(check_gates(&report, &[("AMC-rtb".to_string(), 1.1)]).is_empty());
+        // Unknown test names fail loudly instead of silently passing.
+        let failures = check_gates(&report, &[("EY".to_string(), 1.0)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("unknown test"), "{failures:?}");
     }
 
     #[test]

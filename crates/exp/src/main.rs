@@ -6,7 +6,8 @@
 //! mcexp sweep --fig 3 [--m 2,4,8] [--sets N] [--seed S] [--threads T] [--out DIR]
 //! mcexp headline | ablation | isolation | all
 //! mcexp perf [--json FILE]        # partition throughput (BENCH_partition.json)
-//! mcexp analysis [--json FILE]    # per-test throughput (BENCH_analysis.json)
+//! mcexp analysis [--json FILE] [--gate TEST:MIN]  # per-test throughput
+//!                                 # (BENCH_analysis.json, gated speedups)
 //! mcexp eval [--input FILE] [--output FILE]   # JSONL request/response
 //! mcexp serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
 //!             [--max-requests N] [--allow-shutdown]
@@ -26,7 +27,9 @@ use mcsched_exp::ablation::{
     admission_profile, amc_ablation, render_ablation, render_admission, strategy_ablation,
 };
 use mcsched_exp::algorithms::perf_lineup;
-use mcsched_exp::analysis_perf::{analysis_throughput, render_analysis_perf, write_analysis_json};
+use mcsched_exp::analysis_perf::{
+    analysis_throughput, check_gates, parse_gate, render_analysis_perf, write_analysis_json,
+};
 use mcsched_exp::bench_service::{
     render_service_bench, run_service_bench, write_service_json, ServiceBenchConfig,
 };
@@ -75,6 +78,7 @@ struct Args {
     perf: bool,
     analysis: bool,
     json: Option<PathBuf>,
+    gates: Vec<(String, f64)>,
     // serve / bench-service options
     addr: Option<String>,
     workers: Option<usize>,
@@ -112,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
         perf: false,
         analysis: false,
         json: None,
+        gates: Vec::new(),
         addr: None,
         workers: None,
         queue: None,
@@ -205,6 +210,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
             "--json" => args.json = Some(PathBuf::from(value(&mut i)?)),
+            "--gate" => args.gates.push(parse_gate(&value(&mut i)?)?),
             "--perf-json" => {
                 deprecated("--perf-json", "perf --json");
                 args.perf_json = Some(PathBuf::from(value(&mut i)?));
@@ -304,7 +310,11 @@ subcommands:
   isolation                 mode-switch isolation simulation
   all                       every figure, headline, ablation, isolation
   perf [--json FILE]        partition-throughput artifact (BENCH_partition.json)
-  analysis [--json FILE]    per-test throughput artifact (BENCH_analysis.json)
+  analysis [--json FILE] [--gate TEST:MIN ...]
+                            per-test throughput artifact (BENCH_analysis.json);
+                            each --gate fails the run (exit 1) if TEST's
+                            speedup over the reference pass drops below MIN
+                            at any measured m (e.g. --gate AMC-rtb:1.5)
   eval [--input F] [--output F]   one-shot JSONL verdicts (stdin/stdout)
   serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
         [--max-requests N] [--allow-shutdown]
@@ -616,6 +626,18 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        // Gates are checked after the artifact is written, so a failing
+        // run still uploads the report that explains the failure.
+        if !args.gates.is_empty() {
+            let failures = check_gates(&report, &args.gates);
+            for f in &failures {
+                eprintln!("[mcexp] GATE FAILED: {f}");
+            }
+            if !failures.is_empty() {
+                std::process::exit(1);
+            }
+            eprintln!("[mcexp] all {} speedup gate(s) passed", args.gates.len());
         }
     }
 

@@ -9,11 +9,11 @@
 //! * both hold across unconstrained proptest sets *and* a deterministic
 //!   generator-shaped corpus.
 
-use mcsched::analysis::amc::reference;
+use mcsched::analysis::amc::{amc_rtb_bounds_batched, lo_responses_batched, reference};
 use mcsched::analysis::vdtune::reference as vd_reference;
 use mcsched::analysis::{AmcMax, AmcRtb, AnalysisWorkspace, Ecdf, EdfVd, Ey, SchedulabilityTest};
 use mcsched::gen::{DeadlineModel, GridPoint, TaskSetSpec};
-use mcsched::model::{Task, TaskSet};
+use mcsched::model::{Criticality, Task, TaskSet};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +46,44 @@ fn arb_taskset() -> impl Strategy<Value = TaskSet> {
         let tasks: Vec<_> = (0..n as u32).map(arb_task).collect();
         tasks.prop_map(|ts| TaskSet::try_from_tasks(ts).expect("distinct ids"))
     })
+}
+
+/// Asserts the batched SoA kernels reproduce the seed responses **bit
+/// for bit**: the low-mode vector, the AMC-rtb verdict, and (on an
+/// accepting verdict) every HC task's high-mode bound.
+fn assert_batched_bounds_equivalent(ts: &TaskSet) {
+    let lo = lo_responses_batched(ts);
+    assert_eq!(
+        lo,
+        reference::lo_responses(ts),
+        "batched low-mode responses diverged on {ts}"
+    );
+    let rtb = amc_rtb_bounds_batched(ts);
+    assert_eq!(
+        rtb.is_some(),
+        lo.is_some(),
+        "batched rtb ran without a low-mode pass on {ts}"
+    );
+    let Some((verdict, bounds)) = rtb else {
+        return;
+    };
+    assert_eq!(
+        verdict,
+        reference::amc_rtb_is_schedulable(ts),
+        "batched AMC-rtb verdict diverged on {ts}"
+    );
+    if !verdict {
+        // On a reject the kernel stops at the first infeasible task;
+        // bounds past it are undefined by contract.
+        return;
+    }
+    for (i, t) in ts.as_slice().iter().enumerate() {
+        let want = match t.criticality() {
+            Criticality::High => reference::amc_rtb_response(ts, i).expect("low mode passed"),
+            Criticality::Low => None,
+        };
+        assert_eq!(bounds[i], want, "rtb bound diverged for τ{i} of {ts}");
+    }
 }
 
 /// Asserts the streaming walk ≡ the seed candidate enumeration for every
@@ -102,6 +140,7 @@ fn assert_workspace_equivalent(ts: &TaskSet, ws: &mut AnalysisWorkspace) -> usiz
         vd_reference::ecdf_is_schedulable(ts),
         "ECDF verdict diverged from the seed tuner on {ts}"
     );
+    assert_batched_bounds_equivalent(ts);
     compared
 }
 
@@ -112,6 +151,60 @@ proptest! {
     fn streaming_walk_is_bit_identical(ts in arb_taskset()) {
         let mut ws = AnalysisWorkspace::new();
         assert_workspace_equivalent(&ts, &mut ws);
+    }
+
+    /// Mutation sessions over the delta-maintained SoA view: interleaved
+    /// admits (committing on success) and removals, with every single
+    /// admission verdict compared against the one-shot test on the
+    /// materialised union. Removals force the lane view through its
+    /// `insert`/`remove` shifts and the fast-kernel certificate through
+    /// its add/subtract reversal, so any drift between the mirror and the
+    /// committed set shows up as a verdict divergence.
+    #[test]
+    fn admission_mutation_sessions_stay_equivalent(
+        ts in arb_taskset(),
+        ops in proptest::collection::vec(any::<u32>(), 1..=24),
+    ) {
+        let tests: Vec<Box<dyn SchedulabilityTest>> =
+            vec![Box::new(AmcRtb::new()), Box::new(AmcMax::new())];
+        for test in &tests {
+            let mut state = test.admission_state();
+            let mut pending: Vec<Task> = ts.iter().copied().collect();
+            for &op in &ops {
+                let admit = op & 1 == 0 || state.tasks().is_empty();
+                if admit {
+                    let Some(task) = pending.pop() else { break };
+                    let mut union = state.tasks().clone();
+                    union.push_unchecked(task);
+                    let expected = test.is_schedulable(&union);
+                    prop_assert_eq!(
+                        state.try_admit(&task),
+                        expected,
+                        "{} probe diverged on {}",
+                        test.name(),
+                        &union
+                    );
+                    if expected {
+                        state.commit(task);
+                    } else {
+                        pending.insert(0, task);
+                    }
+                } else {
+                    let committed = state.tasks().clone();
+                    let k = (op >> 1) as usize % committed.len();
+                    let victim = committed.as_slice()[k];
+                    prop_assert!(state.remove(victim.id()));
+                    pending.push(victim);
+                }
+            }
+            // The surviving committed set still judges like a fresh set.
+            prop_assert_eq!(
+                state.tasks().is_empty() || test.is_schedulable(state.tasks()),
+                true,
+                "{} left an unschedulable committed set",
+                test.name()
+            );
+        }
     }
 }
 
@@ -147,6 +240,56 @@ fn seeded_corpus_streaming_equivalence() {
     }
     assert!(generated >= 160, "corpus too small: {generated}");
     assert!(compared >= 160, "comparisons too few: {compared}");
+}
+
+/// Values past the fast-kernel certificate (wcets and periods at the
+/// 2^62–2^63 scale) must take the guarded batched kernels and still
+/// reproduce the seed bounds bit-identically — saturation in the guarded
+/// path and the seed's overflow-checked fixpoint reject identically.
+#[test]
+fn guarded_kernel_bounds_match_reference() {
+    let big = 1u64 << 62;
+    let sets = [
+        // Feasible at the huge scale: one heavy HC task under a light one.
+        TaskSet::try_from_tasks(vec![
+            Task::hi_constrained(0, big, 1, big / 4, big / 2).unwrap(),
+            Task::hi_constrained(1, big + 7, big / 8, big / 2, big).unwrap(),
+            Task::lo_constrained(2, big, big / 16, big / 2).unwrap(),
+        ])
+        .unwrap(),
+        // Interference sums that saturate: both paths must reject.
+        TaskSet::try_from_tasks(vec![
+            Task::hi_constrained(0, 3, 1, 1, 2).unwrap(),
+            Task::hi_constrained(1, big + 1, big - 1, big - 1, big).unwrap(),
+            Task::hi_constrained(2, big + 2, big - 2, big - 1, big).unwrap(),
+        ])
+        .unwrap(),
+        // A single huge-period task alongside small certified ones: the
+        // mixed set leaves the certificate, not just its big member.
+        TaskSet::try_from_tasks(vec![
+            Task::hi(0, 10, 2, 4).unwrap(),
+            Task::lo(1, 20, 5).unwrap(),
+            Task::hi_constrained(2, big, 100, 200, big / 2).unwrap(),
+        ])
+        .unwrap(),
+    ];
+    let mut ws = AnalysisWorkspace::new();
+    for ts in &sets {
+        assert_batched_bounds_equivalent(ts);
+        for test in [AmcRtb::new(), AmcRtb::with_audsley()] {
+            assert_eq!(
+                test.is_schedulable_in(ts, &mut ws),
+                test.is_schedulable(ts),
+                "{} workspace verdict diverged on {ts}",
+                test.name()
+            );
+        }
+        assert_eq!(
+            AmcMax::new().is_schedulable_in(ts, &mut ws),
+            reference::amc_max_is_schedulable(ts),
+            "AMC-max verdict diverged from the seed implementation on {ts}"
+        );
+    }
 }
 
 /// The overflow regression at workspace-integration level: a candidate

@@ -187,6 +187,74 @@ fn assert_zero_alloc_warm_qpa() {
     );
 }
 
+/// A wide committed set (20 tasks, mixed criticality, light utilisation)
+/// that drives the batched SoA kernels through multiple lane blocks —
+/// the 5-task scenarios above stay on the small-set scalar route.
+fn committed_tasks_wide() -> Vec<Task> {
+    (0..20u32)
+        .map(|i| {
+            let period = 60 + 17 * u64::from(i);
+            if i % 3 == 0 {
+                Task::hi(i, period, 1, 2).unwrap()
+            } else {
+                Task::lo(i, period, 1).unwrap()
+            }
+        })
+        .collect()
+}
+
+/// Asserts the batched lane view itself is allocation-free once warm:
+/// repeated full rebuilds of the SoA lanes (one-shot judgements over a
+/// 20-task set, which reload the view every call) and repeated
+/// delta-updated admission probes against a 20-task committed state must
+/// not touch the heap.
+fn assert_zero_alloc_batched_blocks() {
+    let wide = TaskSet::try_from_tasks(committed_tasks_wide()).unwrap();
+    for test in [&AmcRtb::new() as &dyn SchedulabilityTest, &AmcMax::new()] {
+        // One-shot: every call rebuilds the lane view from scratch into
+        // warm buffers (resize + overwrite, growth only on first use).
+        let mut ws = AnalysisWorkspace::new();
+        assert!(test.is_schedulable_in(&wide, &mut ws), "warm-up verdict");
+        let allocs = count_allocations(|| {
+            for _ in 0..32 {
+                std::hint::black_box(test.is_schedulable_in(std::hint::black_box(&wide), &mut ws));
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: multi-block one-shot rebuilds allocated {allocs} times",
+            test.name()
+        );
+
+        // Delta path: probes insert into / remove from the 20-position
+        // lane view around every admission query.
+        let ws = WorkspaceRef::new();
+        let mut state = test.admission_state_in(&ws);
+        for t in committed_tasks_wide() {
+            assert!(state.try_admit(&t), "{}: wide set must admit", test.name());
+            state.commit(t);
+        }
+        let probes = probes();
+        for p in &probes {
+            let _ = state.try_admit(p);
+        }
+        let allocs = count_allocations(|| {
+            for _ in 0..64 {
+                for p in &probes {
+                    std::hint::black_box(state.try_admit(std::hint::black_box(p)));
+                }
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: multi-block admission probes allocated {allocs} times",
+            test.name()
+        );
+    }
+}
+
 #[test]
 fn admission_and_one_shot_paths_are_allocation_free() {
     let tests: Vec<Box<dyn SchedulabilityTest>> = vec![
@@ -217,4 +285,5 @@ fn admission_and_one_shot_paths_are_allocation_free() {
     assert_zero_alloc_one_shot(&ClassicEdf::own_level(), &sets);
     assert_zero_alloc_one_shot(&ClassicEdf::lo_mode(), &sets);
     assert_zero_alloc_warm_qpa();
+    assert_zero_alloc_batched_blocks();
 }
