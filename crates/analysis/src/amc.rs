@@ -1,3 +1,4 @@
+// mclint: hot-path
 //! Adaptive Mixed-Criticality (AMC) response-time analyses.
 //!
 //! Fixed-priority scheduling for dual-criticality systems (Baruah, Burns &
@@ -68,6 +69,7 @@ use mcsched_model::{Criticality, SystemUtilization, Task, TaskId, TaskSet, Time}
 
 /// Deadline-monotonic priority order: returns task indices from highest to
 /// lowest priority.
+// mclint: cold — owned-order convenience; the hot path fills workspace lanes via dm_order_into
 pub(crate) fn dm_order(ts: &TaskSet) -> Vec<usize> {
     let mut idx = Vec::new();
     dm_order_into(ts.as_slice(), &mut idx);
@@ -737,6 +739,7 @@ impl LoRta {
     /// Runs the batched SoA kernel over pooled workspace lanes; responses
     /// are bit-identical to scalar per-task iteration (see the module
     /// docs).
+    // mclint: cold — allocates only the caller-owned result, once per judgement
     pub fn compute_with_order(ts: &TaskSet, order: &[usize]) -> Option<Vec<Time>> {
         let tasks = ts.as_slice();
         let mut resp = vec![Time::ZERO; tasks.len()];
@@ -751,14 +754,19 @@ impl LoRta {
 /// The seed low-mode RTA: one scalar fixpoint per task, chasing the AoS
 /// `Task` structs. Retained for the [`reference`] module (the hot path
 /// runs [`lo_rta_batched`] instead).
+// mclint: cold — seed implementation kept for the reference module, never on the probe path
 fn lo_rta_scalar(tasks: &[Task], order: &[usize]) -> Option<Vec<Time>> {
     let mut resp = vec![Time::ZERO; tasks.len()];
     for (pos, &i) in order.iter().enumerate() {
         let hp = &order[..pos];
         let r = fixpoint(tasks[i].wcet_lo(), tasks[i].deadline(), |r| {
             hp.iter()
-                .map(|&j| tasks[j].wcet_lo() * r.div_ceil(tasks[j].period()))
-                .sum()
+                .map(|&j| {
+                    tasks[j]
+                        .wcet_lo()
+                        .saturating_mul(r.div_ceil(tasks[j].period()))
+                })
+                .fold(Time::ZERO, Time::saturating_add)
         })?;
         resp[i] = r;
     }
@@ -899,22 +907,22 @@ impl AmcContext<'_> {
             .map(|&j| {
                 let tj = &self.tasks[j];
                 match tj.criticality() {
-                    Criticality::Low => tj.wcet_lo() * lo_cap.div_ceil(tj.period()),
+                    Criticality::Low => tj.wcet_lo().saturating_mul(lo_cap.div_ceil(tj.period())),
                     Criticality::High => Time::ZERO,
                 }
             })
-            .sum();
+            .fold(Time::ZERO, Time::saturating_add);
         fixpoint_from(start, ti.wcet_hi(), ti.deadline(), |r| {
             hp.iter()
                 .map(|&j| {
                     let tj = &self.tasks[j];
                     match tj.criticality() {
-                        Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
+                        Criticality::High => tj.wcet_hi().saturating_mul(r.div_ceil(tj.period())),
                         Criticality::Low => Time::ZERO,
                     }
                 })
-                .sum::<Time>()
-                + lc_const
+                .fold(Time::ZERO, Time::saturating_add)
+                .saturating_add(lc_const)
         })
     }
 
@@ -930,11 +938,13 @@ impl AmcContext<'_> {
                 .map(|&j| {
                     let tj = &self.tasks[j];
                     match tj.criticality() {
-                        Criticality::High => tj.wcet_hi() * r.div_ceil(tj.period()),
-                        Criticality::Low => tj.wcet_lo() * lo_cap.div_ceil(tj.period()),
+                        Criticality::High => tj.wcet_hi().saturating_mul(r.div_ceil(tj.period())),
+                        Criticality::Low => {
+                            tj.wcet_lo().saturating_mul(lo_cap.div_ceil(tj.period()))
+                        }
                     }
                 })
-                .sum()
+                .fold(Time::ZERO, Time::saturating_add)
         })
     }
 
@@ -997,7 +1007,11 @@ impl AmcContext<'_> {
             for slot in slots {
                 let n = r.div_ceil(slot.period);
                 let m = slot.m.min(n);
-                total += slot.wcet_lo * m + slot.wcet_hi * (n - m);
+                total = total.saturating_add(
+                    slot.wcet_lo
+                        .saturating_mul(m)
+                        .saturating_add(slot.wcet_hi.saturating_mul(n - m)),
+                );
             }
             total
         })
@@ -1031,7 +1045,7 @@ impl AmcContext<'_> {
                 Criticality::Low => {
                     // (⌊s/T⌋+1)·C^L: one job at s = 0, stepping at every
                     // multiple of T.
-                    lc += tj.wcet_lo();
+                    lc = lc.saturating_add(tj.wcet_lo());
                     streams.push(CandStream {
                         next: tj.period(),
                         stride: tj.period(),
@@ -1130,7 +1144,9 @@ impl AmcContext<'_> {
                 .map(|&j| {
                     let tj = &self.tasks[j];
                     match tj.criticality() {
-                        Criticality::Low => tj.wcet_lo() * (s.div_floor(tj.period()) + 1),
+                        Criticality::Low => tj
+                            .wcet_lo()
+                            .saturating_mul(s.div_floor(tj.period()).saturating_add(1)),
                         Criticality::High => {
                             let n = r.div_ceil(tj.period());
                             // Two sound lower bounds on the hp-HC jobs that
@@ -1149,11 +1165,13 @@ impl AmcContext<'_> {
                             };
                             let by_release = s.div_floor(tj.period());
                             let m = by_deadline.max(by_release).min(n);
-                            tj.wcet_lo() * m + tj.wcet_hi() * (n - m)
+                            tj.wcet_lo()
+                                .saturating_mul(m)
+                                .saturating_add(tj.wcet_hi().saturating_mul(n - m))
                         }
                     }
                 })
-                .sum()
+                .fold(Time::ZERO, Time::saturating_add)
         })
     }
 
@@ -1161,6 +1179,7 @@ impl AmcContext<'_> {
     /// points in `[0, R^LO_i)` where some interference term steps, plus 0
     /// (reference path; the hot path streams the same instants through
     /// [`AmcContext::fold_candidates`] without materialising them).
+    // mclint: cold — reference path; the hot path streams candidates without materialising
     fn switch_candidates(&self, pos: usize) -> Vec<Time> {
         let r_lo = self.lo_resp[self.order[pos]];
         let mut cands = vec![Time::ZERO];
@@ -1172,7 +1191,7 @@ impl AmcContext<'_> {
                     let mut t = tj.period();
                     while t < r_lo {
                         cands.push(t);
-                        t += tj.period();
+                        t = t.saturating_add(tj.period());
                     }
                 }
                 Criticality::High => {
@@ -1181,12 +1200,12 @@ impl AmcContext<'_> {
                     let mut t = tj.deadline();
                     while t < r_lo {
                         cands.push(t);
-                        t += tj.period();
+                        t = t.saturating_add(tj.period());
                     }
                     let mut t = tj.period();
                     while t < r_lo {
                         cands.push(t);
-                        t += tj.period();
+                        t = t.saturating_add(tj.period());
                     }
                 }
             }
@@ -1244,6 +1263,7 @@ impl AmcRtb {
     /// The Audsley priority order found for this set (highest priority
     /// first), if one exists. Exposed so the simulator can run the
     /// assignment the analysis certified.
+    // mclint: cold — allocates only the caller-owned order, once per judgement
     pub fn audsley_order(ts: &TaskSet) -> Option<Vec<usize>> {
         AnalysisWorkspace::with(|ws| {
             let AnalysisWorkspace { idx, idx2, soa, .. } = ws;
@@ -1388,10 +1408,12 @@ impl SchedulabilityTest for AmcRtb {
         }
     }
 
+    // mclint: cold — one boxed state per session, reused across every probe
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
     }
 
+    // mclint: cold — one boxed state per session, reused across every probe
     fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
         Box::new(AmcState::with_workspace(self.variant(), ws.clone()))
     }
@@ -1404,6 +1426,7 @@ impl IncrementalTest for AmcRtb {
         AmcState::with_workspace(self.variant(), WorkspaceRef::new())
     }
 
+    // mclint: cold — session construction; the Rc bump happens once per processor
     fn new_state_in(&self, ws: &WorkspaceRef) -> AmcState {
         AmcState::with_workspace(self.variant(), ws.clone())
     }
@@ -1455,10 +1478,12 @@ impl SchedulabilityTest for AmcMax {
         amc_schedulable_in(ts, AmcVariant::Max, ws)
     }
 
+    // mclint: cold — one boxed state per session, reused across every probe
     fn admission_state(&self) -> Box<dyn AdmissionState + '_> {
         Box::new(self.new_state())
     }
 
+    // mclint: cold — one boxed state per session, reused across every probe
     fn admission_state_in(&self, ws: &WorkspaceRef) -> Box<dyn AdmissionState + '_> {
         Box::new(AmcState::with_workspace(AmcVariant::Max, ws.clone()))
     }
@@ -1471,6 +1496,7 @@ impl IncrementalTest for AmcMax {
         AmcState::with_workspace(AmcVariant::Max, WorkspaceRef::new())
     }
 
+    // mclint: cold — session construction; the Rc bump happens once per processor
     fn new_state_in(&self, ws: &WorkspaceRef) -> AmcState {
         AmcState::with_workspace(AmcVariant::Max, ws.clone())
     }
@@ -1907,6 +1933,7 @@ impl AdmissionState for AmcState {
 /// [`reference::lo_responses`] bit-identically (asserted by
 /// `tests/analysis_workspace.rs` and the `micro_tests` bench).
 #[doc(hidden)]
+// mclint: cold — equivalence-suite entry point; allocates caller-owned results once per call
 pub fn lo_responses_batched(ts: &TaskSet) -> Option<Vec<Time>> {
     let order = dm_order(ts);
     let mut lo = vec![Time::ZERO; ts.len()];
@@ -1924,6 +1951,7 @@ pub fn lo_responses_batched(ts: &TaskSet) -> Option<Vec<Time>> {
 /// `None`). On a `true` verdict every HC bound must equal
 /// [`reference::amc_rtb_response`] bit-identically.
 #[doc(hidden)]
+// mclint: cold — equivalence-suite entry point; allocates caller-owned results once per call
 pub fn amc_rtb_bounds_batched(ts: &TaskSet) -> Option<(bool, Vec<Option<Time>>)> {
     let order = dm_order(ts);
     let mut lo = vec![Time::ZERO; ts.len()];
@@ -1988,6 +2016,7 @@ pub mod reference {
 
     /// The candidate instants the streaming walk visits, in visit order
     /// (must equal [`amc_max_candidates`] exactly).
+    // mclint: cold — reference-module witness; materialises for comparison only
     pub fn amc_max_candidates_streamed(ts: &TaskSet, task_index: usize) -> Option<Vec<Time>> {
         with_ctx(ts, |ctx| {
             let mut streams = Vec::new();
@@ -2015,6 +2044,7 @@ pub mod reference {
 
     /// The streaming AMC-max response bound of `task_index` (must equal
     /// [`amc_max_bound`] exactly).
+    // mclint: cold — reference-module witness; scratch vectors live per call by design
     pub fn amc_max_bound_streamed(ts: &TaskSet, task_index: usize) -> Option<Option<Time>> {
         with_ctx(ts, |ctx| {
             let mut streams = Vec::new();

@@ -100,8 +100,8 @@ pub fn dbf_lo(vt: &VdTask, t: Time) -> Time {
     if t < vt.vd {
         return Time::ZERO;
     }
-    let jobs = (t - vt.vd).div_floor(vt.task.period()) + 1;
-    vt.task.wcet_lo() * jobs
+    let jobs = (t - vt.vd).div_floor(vt.task.period()).saturating_add(1);
+    vt.task.wcet_lo().saturating_mul(jobs)
 }
 
 /// High-mode demand of one HC task in a window of length `t` after the
@@ -119,20 +119,27 @@ pub fn dbf_hi(vt: &VdTask, t: Time) -> Time {
     }
     let period = vt.task.period();
     let rel = t - d;
-    let k = rel.div_floor(period) + 1;
+    let k = rel.div_floor(period).saturating_add(1);
     let m = rel % period; // (t − di) mod Ti
     let done = vt.task.wcet_lo().saturating_sub(m);
-    vt.task.wcet_hi() * k - done
+    vt.task.wcet_hi().saturating_mul(k).saturating_sub(done)
 }
 
-/// Total low-mode demand `Σ dbf_LO(τi, t)`.
+/// Total low-mode demand `Σ dbf_LO(τi, t)`, clamped at `Time::MAX`
+/// (a saturated total already exceeds any supply bound).
 pub fn total_dbf_lo(tasks: &[VdTask], t: Time) -> Time {
-    tasks.iter().map(|vt| dbf_lo(vt, t)).sum()
+    tasks
+        .iter()
+        .map(|vt| dbf_lo(vt, t))
+        .fold(Time::ZERO, Time::saturating_add)
 }
 
-/// Total high-mode demand `Σ_HC dbf_HI(τi, t)`.
+/// Total high-mode demand `Σ_HC dbf_HI(τi, t)`, clamped at `Time::MAX`.
 pub fn total_dbf_hi(tasks: &[VdTask], t: Time) -> Time {
-    tasks.iter().map(|vt| dbf_hi(vt, t)).sum()
+    tasks
+        .iter()
+        .map(|vt| dbf_hi(vt, t))
+        .fold(Time::ZERO, Time::saturating_add)
 }
 
 /// Outcome of a demand check.
@@ -269,10 +276,12 @@ pub mod reference {
         if tasks.is_empty() {
             return DemandCheck::Ok;
         }
-        let util: f64 = tasks
-            .iter()
-            .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64())
-            .sum();
+        // Insertion-order sum: the ≥/> threshold comparisons below make
+        // this verdict-bearing.
+        let mut util: f64 = 0.0;
+        for vt in tasks {
+            util += vt.task.wcet_lo().as_f64() / vt.task.period().as_f64();
+        }
         let all_implicit_untightened = tasks.iter().all(|vt| vt.vd == vt.task.period());
         if util > 1.0 + UTIL_EPS {
             // Overload: a violation certainly exists; report the busy-window
@@ -290,14 +299,12 @@ pub mod reference {
             // Implicit deadlines, no tightening: EDF utilization bound is exact.
             return DemandCheck::Ok;
         }
-        // K = Σ u_i (Ti − Vi); horizon = K / (1 − U).
-        let k: f64 = tasks
-            .iter()
-            .map(|vt| {
-                let u = vt.task.wcet_lo().as_f64() / vt.task.period().as_f64();
-                u * (vt.task.period() - vt.vd.min(vt.task.period())).as_f64()
-            })
-            .sum();
+        // K = Σ u_i (Ti − Vi); horizon = K / (1 − U). Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for vt in tasks {
+            let u = vt.task.wcet_lo().as_f64() / vt.task.period().as_f64();
+            k += u * (vt.task.period() - vt.vd.min(vt.task.period())).as_f64();
+        }
         let bound = (k / (1.0 - util)).ceil() as u64;
         qpa_check(bound, |t| total_dbf_lo(tasks, t))
     }
@@ -305,10 +312,11 @@ pub mod reference {
     fn violation_horizon_lo(tasks: &[VdTask], util: f64) -> Time {
         // Σ dbf_LO(t) ≥ U·t − Σ u_i·Vi for t ≥ max Vi, so demand exceeds t by
         // t > Σ u_i·Vi / (U − 1).
-        let k: f64 = tasks
-            .iter()
-            .map(|vt| vt.task.wcet_lo().as_f64() / vt.task.period().as_f64() * vt.vd.as_f64())
-            .sum();
+        // Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for vt in tasks {
+            k += vt.task.wcet_lo().as_f64() / vt.task.period().as_f64() * vt.vd.as_f64();
+        }
         let max_v = tasks.iter().map(|vt| vt.vd).fold(Time::ZERO, Time::max);
         Time::new((k / (util - 1.0)).ceil() as u64).max(max_v) + Time::ONE
     }
@@ -328,10 +336,11 @@ pub mod reference {
         if hc.is_empty() {
             return DemandCheck::Ok;
         }
-        let util: f64 = hc
-            .iter()
-            .map(|vt| vt.task.wcet_hi().as_f64() / vt.task.period().as_f64())
-            .sum();
+        // Insertion-order sum (verdict-bearing thresholds below).
+        let mut util: f64 = 0.0;
+        for vt in hc {
+            util += vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+        }
         if util > 1.0 + UTIL_EPS {
             return DemandCheck::Violation(violation_horizon_hi(hc, util));
         }
@@ -340,26 +349,28 @@ pub mod reference {
             return DemandCheck::Unbounded;
         }
         // dbf_HI(τi, t) ≤ k(t)·C^H ≤ u^H_i·t + C^H_i + u^H_i·(Ti − di).
-        let k: f64 = hc
-            .iter()
-            .map(|vt| {
-                let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
-                vt.task.wcet_hi().as_f64()
-                    + u * (vt.task.period().saturating_sub(vt.dist())).as_f64()
-            })
-            .sum();
+        // Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for vt in hc {
+            let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+            k += vt.task.wcet_hi().as_f64()
+                + u * (vt.task.period().saturating_sub(vt.dist())).as_f64();
+        }
         let bound = (k / (1.0 - util)).ceil() as u64;
-        qpa_check(bound, |t| hc.iter().map(|vt| dbf_hi(vt, t)).sum::<Time>())
+        qpa_check(bound, |t| {
+            hc.iter()
+                .map(|vt| dbf_hi(vt, t))
+                .fold(Time::ZERO, Time::saturating_add)
+        })
     }
 
     fn violation_horizon_hi(hc: &[VdTask], util: f64) -> Time {
-        let k: f64 = hc
-            .iter()
-            .map(|vt| {
-                let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
-                u * vt.dist().as_f64() + vt.task.wcet_lo().as_f64()
-            })
-            .sum();
+        // Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for vt in hc {
+            let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+            k += u * vt.dist().as_f64() + vt.task.wcet_lo().as_f64();
+        }
         let max_d = hc.iter().map(|vt| vt.dist()).fold(Time::ZERO, Time::max);
         Time::new((k / (util - 1.0)).ceil() as u64).max(max_d) + Time::ONE
     }

@@ -1,3 +1,4 @@
+// mclint: hot-path
 //! The **incremental demand kernel**: memoised, warm-startable QPA for
 //! the EY / ECDF demand stack.
 //!
@@ -158,7 +159,8 @@ impl TaskDemand {
         if t < self.vd {
             return Time::ZERO;
         }
-        self.c_lo * ((t - self.vd).div_floor(self.period) + 1)
+        self.c_lo
+            .saturating_mul((t - self.vd).div_floor(self.period).saturating_add(1))
     }
 
     /// High-mode demand at `t` — identical to [`crate::dbf::dbf_hi`] for HC
@@ -169,10 +171,10 @@ impl TaskDemand {
             return Time::ZERO;
         }
         let rel = t - self.dist;
-        let k = rel.div_floor(self.period) + 1;
+        let k = rel.div_floor(self.period).saturating_add(1);
         let md = rel % self.period;
         let done = self.c_lo.saturating_sub(md);
-        self.c_hi * k - done
+        self.c_hi.saturating_mul(k).saturating_sub(done)
     }
 }
 
@@ -376,18 +378,19 @@ impl DemandKernel {
         for e in &mut self.lo_anchors.entries {
             e.1 -= step.lo_at(e.0);
         }
-        self.lo_util = self
-            .steps
-            .iter()
-            .map(|s| s.c_lo.as_f64() / s.period.as_f64())
-            .sum();
+        // Re-derive both utilization caches with insertion-order loops:
+        // a compensated `-=` would drift from the push-path `+=`, and the
+        // summation order must match a fresh build bit-for-bit.
+        self.lo_util = 0.0;
+        for s in &self.steps {
+            self.lo_util += s.c_lo.as_f64() / s.period.as_f64();
+        }
         if step.hi {
             self.hc.pop();
-            self.hi_util = self
-                .hc
-                .iter()
-                .map(|&i| self.steps[i].c_hi.as_f64() / self.steps[i].period.as_f64())
-                .sum();
+            self.hi_util = 0.0;
+            for &i in &self.hc {
+                self.hi_util += self.steps[i].c_hi.as_f64() / self.steps[i].period.as_f64();
+            }
         }
         if vt.vd == vt.task.period() {
             self.untight_implicit -= 1;
@@ -437,16 +440,23 @@ impl DemandKernel {
         }
     }
 
-    /// Total low-mode demand at `t` (exact).
+    /// Total low-mode demand at `t` (exact, clamped at `Time::MAX` like
+    /// [`crate::dbf::total_dbf_lo`] so the two stay bit-identical).
     #[inline]
     fn eval_lo(&self, t: Time) -> Time {
-        self.steps.iter().map(|s| s.lo_at(t)).sum()
+        self.steps
+            .iter()
+            .map(|s| s.lo_at(t))
+            .fold(Time::ZERO, Time::saturating_add)
     }
 
-    /// Total high-mode demand at `t` (exact).
+    /// Total high-mode demand at `t` (exact, clamped at `Time::MAX`).
     #[inline]
     fn eval_hi(&self, t: Time) -> Time {
-        self.hc.iter().map(|&i| self.steps[i].hi_at(t)).sum()
+        self.hc
+            .iter()
+            .map(|&i| self.steps[i].hi_at(t))
+            .fold(Time::ZERO, Time::saturating_add)
     }
 
     /// The exact low-mode check — bit-identical to
@@ -486,14 +496,12 @@ impl DemandKernel {
         if all_implicit_untightened {
             return DemandCheck::Ok;
         }
-        let k: f64 = self
-            .steps
-            .iter()
-            .map(|s| {
-                let u = s.c_lo.as_f64() / s.period.as_f64();
-                u * (s.period - s.vd.min(s.period)).as_f64()
-            })
-            .sum();
+        // Insertion-order sum (verdict-bearing QPA start bound).
+        let mut k: f64 = 0.0;
+        for s in &self.steps {
+            let u = s.c_lo.as_f64() / s.period.as_f64();
+            k += u * (s.period - s.vd.min(s.period)).as_f64();
+        }
         let Some(bound) = qpa_start(k, util) else {
             return DemandCheck::Unbounded;
         };
@@ -602,14 +610,14 @@ impl DemandKernel {
     /// The high-mode busy-window numerator
     /// `Σ_HC (C^H + u^H·(T − d))`, in HC order.
     fn hi_k(&self) -> f64 {
-        self.hc
-            .iter()
-            .map(|&i| {
-                let s = &self.steps[i];
-                let u = s.c_hi.as_f64() / s.period.as_f64();
-                s.c_hi.as_f64() + u * (s.period.saturating_sub(s.dist)).as_f64()
-            })
-            .sum()
+        // Insertion-order sum (verdict-bearing QPA start bound).
+        let mut k: f64 = 0.0;
+        for &i in &self.hc {
+            let s = &self.steps[i];
+            let u = s.c_hi.as_f64() / s.period.as_f64();
+            k += s.c_hi.as_f64() + u * (s.period.saturating_sub(s.dist)).as_f64();
+        }
+        k
     }
 
     /// The descending fixpoint loop, starting at `t` (inclusive).
@@ -646,11 +654,11 @@ impl DemandKernel {
     /// the seed's busy-window horizon, clamped saturating so extreme
     /// utilizations can no longer overflow `Time` (satellite fix).
     fn horizon_lo(&self, util: f64) -> Time {
-        let k: f64 = self
-            .steps
-            .iter()
-            .map(|s| s.c_lo.as_f64() / s.period.as_f64() * s.vd.as_f64())
-            .sum();
+        // Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for s in &self.steps {
+            k += s.c_lo.as_f64() / s.period.as_f64() * s.vd.as_f64();
+        }
         let max_v = self.steps.iter().map(|s| s.vd).fold(Time::ZERO, Time::max);
         Time::new((k / (util - 1.0)).ceil() as u64)
             .max(max_v)
@@ -660,15 +668,13 @@ impl DemandKernel {
     /// Certain-overload witness for the high-mode check, clamped like
     /// [`horizon_lo`](Self::horizon_lo).
     fn horizon_hi(&self, util: f64) -> Time {
-        let k: f64 = self
-            .hc
-            .iter()
-            .map(|&i| {
-                let s = &self.steps[i];
-                let u = s.c_hi.as_f64() / s.period.as_f64();
-                u * s.dist.as_f64() + s.c_lo.as_f64()
-            })
-            .sum();
+        // Insertion-order sum.
+        let mut k: f64 = 0.0;
+        for &i in &self.hc {
+            let s = &self.steps[i];
+            let u = s.c_hi.as_f64() / s.period.as_f64();
+            k += u * s.dist.as_f64() + s.c_lo.as_f64();
+        }
         let max_d = self
             .hc
             .iter()

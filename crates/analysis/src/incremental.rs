@@ -1,3 +1,4 @@
+// mclint: hot-path
 //! The **incremental admission layer**: stateful per-processor
 //! schedulability instead of clone-and-retest.
 //!
@@ -271,10 +272,12 @@ where
     T: IncrementalTest,
     T::State: 'static,
 {
+    // mclint: cold — one boxed state per server session, reused across probes
     fn owned_admission_state(&self) -> Box<dyn AdmissionState> {
         Box::new(self.new_state())
     }
 
+    // mclint: cold — one boxed state per server session, reused across probes
     fn owned_admission_state_in(&self, ws: &crate::WorkspaceRef) -> Box<dyn AdmissionState> {
         Box::new(self.new_state_in(ws))
     }
@@ -327,6 +330,7 @@ impl Committed {
 
 /// Runs the one-shot test on `committed ∪ {task}` — the seed
 /// clone-and-retest admission every incremental state must agree with.
+// mclint: cold — the clone IS the baseline being measured against; only equivalence suites call it
 pub(crate) fn clone_and_retest<T: SchedulabilityTest + ?Sized>(
     test: &T,
     committed: &TaskSet,
@@ -436,6 +440,7 @@ impl<T: SchedulabilityTest> SchedulabilityTest for OneShot<T> {
 impl<T: SchedulabilityTest + Clone> IncrementalTest for OneShot<T> {
     type State = OneShotState<T>;
 
+    // mclint: cold — session construction, once per processor
     fn new_state(&self) -> OneShotState<T> {
         OneShotState {
             test: self.0.clone(),

@@ -229,7 +229,7 @@ fn greedy_kernel(kernel: &mut DemandKernel, effort: Effort, moves: &mut Vec<Move
 
 /// The structural overload rejection shared by every tuner start.
 fn overloaded(ts: &TaskSet) -> bool {
-    let hi_util: f64 = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
+    let hi_util: f64 = ts.utilization_hi_total();
     let lo_util: f64 = ts.utilization_lo_total();
     hi_util > 1.0 || lo_util > 1.0
 }
@@ -469,7 +469,7 @@ impl VdTuneState {
     /// Rebuilds every cache from the committed tasks (after a removal).
     fn resync(&mut self) {
         let ts = &self.committed.tasks;
-        self.hi_util = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
+        self.hi_util = ts.utilization_hi_total();
         self.lo_util = ts.utilization_lo_total();
         self.kernel.load_untightened(ts);
     }
@@ -620,7 +620,7 @@ pub mod reference {
 
     /// The seed `tune`: fresh start vectors per attempt.
     fn tune(ts: &TaskSet, effort: Effort) -> Option<Vec<VdTask>> {
-        let hi_util: f64 = ts.hi_tasks().map(|t| t.utilization_hi()).sum();
+        let hi_util: f64 = ts.utilization_hi_total();
         let lo_util: f64 = ts.utilization_lo_total();
         if hi_util > 1.0 || lo_util > 1.0 {
             return None;

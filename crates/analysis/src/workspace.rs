@@ -1,3 +1,4 @@
+// mclint: hot-path
 //! Reusable scratch buffers for the analysis hot path.
 //!
 //! The schedulability tests sit inside the partitioning inner loop: the
@@ -128,7 +129,9 @@ pub(crate) fn inv64(d: u64) -> u64 {
     // quotient only gains the carry when the remainder wraps to 0.
     let q = u64::MAX / d;
     let r = u64::MAX % d;
-    q + u64::from(r + 1 == d)
+    // r < d here (d ≥ 2), so the carry condition r + 1 == d is exactly
+    // r == d − 1, sparing the increment.
+    q + u64::from(r == d - 1)
 }
 
 impl SoaTasks {
@@ -275,7 +278,7 @@ impl SoaTasks {
             *hc = t.criticality() == Criticality::High;
             let (ok, b) = cert_values(*wl, *wh, *per, *dl, *inv);
             slow += usize::from(!ok);
-            budget += b;
+            budget = budget.saturating_add(b);
         }
         self.slow_tasks = slow;
         self.fast_budget = budget;
@@ -491,6 +494,7 @@ impl WorkspaceRef {
     }
 }
 
+// mclint: cold — const thread-local initialiser; the empty Vec never allocates
 thread_local! {
     /// Idle workspaces of this thread, reused across partitioning runs.
     static POOL: RefCell<Vec<WorkspaceRef>> = const { RefCell::new(Vec::new()) };

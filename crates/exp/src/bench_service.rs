@@ -218,7 +218,7 @@ fn run_phase(client: &mut Client, requests: &[Request], window: usize) -> io::Re
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| -> f64 {
         if latencies_us.is_empty() {
             return 0.0;

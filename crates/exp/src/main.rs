@@ -13,6 +13,7 @@
 //!             [--max-requests N] [--allow-shutdown]
 //! mcexp bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N]
 //!                     [--pipeline K] [--burst N] [--out FILE] [--shutdown]
+//! mcexp lint [--json | --fixable] [--baseline FILE] [--root DIR]
 //! ```
 //!
 //! The old flag spellings (`--fig`, `--headline`, `--ablation`,
@@ -90,9 +91,16 @@ struct Args {
     pipeline: Option<usize>,
     burst: Option<usize>,
     shutdown: bool,
+    help: bool,
+    // lint options
+    lint: bool,
+    lint_json: bool,
+    lint_fixable: bool,
+    lint_baseline: Option<PathBuf>,
+    lint_root: PathBuf,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         eval: false,
         serve: false,
@@ -127,8 +135,13 @@ fn parse_args() -> Result<Args, String> {
         pipeline: None,
         burst: None,
         shutdown: false,
+        help: false,
+        lint: false,
+        lint_json: false,
+        lint_fixable: false,
+        lint_baseline: None,
+        lint_root: PathBuf::from("."),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
 
     // Leading bare word = subcommand. Flags-only invocations fall
@@ -147,15 +160,16 @@ fn parse_args() -> Result<Args, String> {
             "eval" => args.eval = true,
             "serve" => args.serve = true,
             "bench-service" => args.bench = true,
+            "lint" => args.lint = true,
             "help" => {
-                println!("{HELP}");
-                std::process::exit(0);
+                args.help = true;
+                return Ok(args);
             }
             flag if flag.starts_with('-') => subcommand = false,
             other => {
                 return Err(format!(
                     "unknown subcommand `{other}` (expected sweep, headline, ablation, \
-                     isolation, all, perf, analysis, eval, serve, or bench-service)"
+                     isolation, all, perf, analysis, eval, serve, bench-service, or lint)"
                 ));
             }
         }
@@ -174,6 +188,30 @@ fn parse_args() -> Result<Args, String> {
             .cloned()
             .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
     };
+
+    // `lint` takes its own flag set: `--json` here is a boolean (emit the
+    // JSON report), unlike the artifact-path `--json FILE` of perf/analysis.
+    if args.lint {
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--json" => args.lint_json = true,
+                "--fixable" => args.lint_fixable = true,
+                "--baseline" => args.lint_baseline = Some(PathBuf::from(value(&mut i)?)),
+                "--root" => args.lint_root = PathBuf::from(value(&mut i)?),
+                "--help" | "-h" => {
+                    args.help = true;
+                    return Ok(args);
+                }
+                other => return Err(format!("unknown argument for lint: {other}")),
+            }
+            i += 1;
+        }
+        if args.lint_json && args.lint_fixable {
+            return Err("--json and --fixable are mutually exclusive".to_owned());
+        }
+        return Ok(args);
+    }
+
     while i < argv.len() {
         match argv[i].as_str() {
             "--input" => args.input = Some(PathBuf::from(value(&mut i)?)),
@@ -290,14 +328,53 @@ fn parse_args() -> Result<Args, String> {
             }
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
-                println!("{HELP}");
-                std::process::exit(0);
+                args.help = true;
+                return Ok(args);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
     }
+    validate(&args)?;
     Ok(args)
+}
+
+/// Parse-time validation: reject nonsense values with a usage error
+/// (exit 2) instead of letting them surface later as a runtime failure
+/// (exit 1) — or worse, as a silent empty sweep.
+fn validate(args: &Args) -> Result<(), String> {
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    if args.sets == 0 {
+        return Err("--sets must be at least 1".to_owned());
+    }
+    if args.m_values.is_empty() {
+        return Err("--m needs a non-empty list of processor counts".to_owned());
+    }
+    if args.m_values.contains(&0) {
+        return Err("--m values must be at least 1".to_owned());
+    }
+    for (flag, v) in [
+        ("--workers", args.workers),
+        ("--queue", args.queue),
+        ("--pipeline", args.pipeline),
+        ("--burst", args.burst),
+    ] {
+        if v == Some(0) {
+            return Err(format!("{flag} must be at least 1"));
+        }
+    }
+    if let Some(addr) = &args.addr {
+        // Resolve now so `serve --addr garbage` is a usage error, not a
+        // bind failure after the registry has been built.
+        use std::net::ToSocketAddrs;
+        addr.to_socket_addrs()
+            .map_err(|e| format!("bad --addr `{addr}`: {e}"))?
+            .next()
+            .ok_or_else(|| format!("bad --addr `{addr}`: resolves to no address"))?;
+    }
+    Ok(())
 }
 
 const HELP: &str = r#"mcexp — the DATE 2017 UDP partitioning experiment driver
@@ -322,6 +399,9 @@ subcommands:
   bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N] [--seed S]
                 [--pipeline K] [--burst N] [--out FILE] [--shutdown]
                             cold vs warm service benchmark (BENCH_service.json)
+  lint [--json | --fixable] [--baseline FILE] [--root DIR]
+                            project-native static analysis (mclint); exit 0
+                            clean, 1 findings, 2 usage error
 
 shared options: --m 2,4,8  --sets N  --seed S  --threads T  --out DIR
 
@@ -465,14 +545,49 @@ fn run_bench_service_mode(args: &Args) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Runs `mcexp lint`: the project-native static analysis. Returns the
+/// process exit code (0 clean, 1 findings, 2 engine error).
+fn run_lint_mode(args: &Args) -> i32 {
+    let opts = mcsched_lint::Options {
+        root: args.lint_root.clone(),
+        baseline: args.lint_baseline.clone(),
+    };
+    match mcsched_lint::run(&opts) {
+        Ok(report) => {
+            if args.lint_json {
+                print!("{}", mcsched_lint::render_json(&report));
+            } else if args.lint_fixable {
+                print!("{}", mcsched_lint::render_fixable(&report));
+            } else {
+                print!("{}", mcsched_lint::render_human(&report));
+            }
+            i32::from(!report.is_clean())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
 fn main() {
-    let args = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{HELP}");
             std::process::exit(2);
         }
     };
+
+    if args.help {
+        println!("{HELP}");
+        return;
+    }
+
+    if args.lint {
+        std::process::exit(run_lint_mode(&args));
+    }
 
     if args.eval {
         if let Err(e) = run_eval_mode(&args) {
@@ -643,5 +758,79 @@ fn main() {
 
     if !did_something {
         println!("{HELP}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn subcommands_parse() {
+        assert!(parse_args(&argv(&["sweep", "--fig", "3"]))
+            .unwrap()
+            .fig
+            .is_some());
+        assert!(parse_args(&argv(&["serve"])).unwrap().serve);
+        assert!(parse_args(&argv(&["eval"])).unwrap().eval);
+        assert!(parse_args(&argv(&["help"])).unwrap().help);
+        assert!(parse_args(&argv(&["analysis", "--help"])).unwrap().help);
+    }
+
+    #[test]
+    fn unknown_subcommand_and_flag_are_usage_errors() {
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--frob"])).is_err());
+        assert!(parse_args(&argv(&["--sets"])).is_err(), "missing value");
+        assert!(
+            parse_args(&argv(&["--sets", "abc"])).is_err(),
+            "non-numeric"
+        );
+    }
+
+    #[test]
+    fn nonsense_values_are_rejected_at_parse_time() {
+        assert!(parse_args(&argv(&["sweep", "--fig", "3", "--threads", "0"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--fig", "3", "--sets", "0"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--fig", "3", "--m", "2,0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&argv(&["bench-service", "--pipeline", "0"])).is_err());
+        assert!(parse_args(&argv(&["bench-service", "--burst", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_addr_is_validated_at_parse_time() {
+        assert!(parse_args(&argv(&["serve", "--addr", "garbage"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--addr", "127.0.0.1"])).is_err());
+        let ok = parse_args(&argv(&["serve", "--addr", "127.0.0.1:0"])).unwrap();
+        assert_eq!(ok.addr.as_deref(), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn lint_has_its_own_flag_set() {
+        let a = parse_args(&argv(&["lint"])).unwrap();
+        assert!(a.lint && !a.lint_json && !a.lint_fixable);
+        let a = parse_args(&argv(&[
+            "lint",
+            "--json",
+            "--baseline",
+            "b",
+            "--root",
+            "/x",
+        ]))
+        .unwrap();
+        assert!(a.lint_json);
+        assert_eq!(a.lint_baseline.as_deref(), Some(std::path::Path::new("b")));
+        assert_eq!(a.lint_root, std::path::PathBuf::from("/x"));
+        assert!(parse_args(&argv(&["lint", "--json", "--fixable"])).is_err());
+        assert!(
+            parse_args(&argv(&["lint", "--sets", "3"])).is_err(),
+            "sweep flags do not leak in"
+        );
     }
 }

@@ -197,6 +197,7 @@ impl Server {
         };
         let queue: Bounded<TcpStream> = Bounded::new(config.queue_depth.max(1));
         let mut stats = ServerStats::default();
+        // mclint: allow(scoped-threads) reason="the accept/worker pool is a server runtime, not an experiment batch; engine.rs only covers deterministic result merging"
         let worker_totals = std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(config.workers.max(1));
             for _ in 0..config.workers.max(1) {
@@ -252,6 +253,7 @@ impl Server {
             queue.close();
             workers
                 .into_iter()
+                // mclint: allow(no-panic) reason="join() only errs if a worker panicked; serve_connection is panic-free, so this propagates a bug rather than masking it"
                 .map(|w| w.join().expect("worker thread panicked"))
                 .collect::<Vec<_>>()
         });
@@ -272,6 +274,7 @@ fn shed_overloaded(mut stream: TcpStream) {
     let reply = Reply::Overload {
         error: "server overloaded; retry later".to_owned(),
     };
+    // mclint: allow(reply-id) reason="shed happens before any frame is read; there is no request id to echo yet"
     let _ = write_frame(&mut stream, &reply.render(None));
 }
 
@@ -318,6 +321,7 @@ pub fn serve_connection<R: Read, W: Write>(
                 totals.requests += 1;
                 totals.errors += 1;
                 let reply = Reply::error(format!("frame exceeds the {max}-byte limit"));
+                // mclint: allow(reply-id) reason="the oversized frame was never parsed, so its id is unknown by construction"
                 if write_frame(&mut writer, &reply.render(None)).is_err() {
                     break;
                 }
@@ -327,6 +331,7 @@ pub fn serve_connection<R: Read, W: Write>(
                 let reply = Reply::Closed {
                     reason: "idle timeout".to_owned(),
                 };
+                // mclint: allow(reply-id) reason="timeout fires between requests; no request is in flight to correlate"
                 let _ = write_frame(&mut writer, &reply.render(None));
                 break;
             }
@@ -340,6 +345,7 @@ pub fn serve_connection<R: Read, W: Write>(
             let reply = Reply::Closed {
                 reason: format!("request cap ({}) reached", config.max_requests),
             };
+            // mclint: allow(reply-id) reason="the cap notice is unsolicited (no request being answered), so no id exists"
             let _ = write_frame(&mut writer, &reply.render(None));
             break;
         }

@@ -179,8 +179,8 @@ pub fn paired_utilizations(
     let _ = max_tries;
     let mut hi = uunifast_bounded(rng, n, total_hi, umin, umax)?;
     let mut lo = uunifast_bounded(rng, n, total_lo, umin.min(total_lo / n as f64), umax)?;
-    hi.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-    lo.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    hi.sort_by(|a, b| b.total_cmp(a));
+    lo.sort_by(|a, b| b.total_cmp(a));
 
     // Clamp low values to their caps and redistribute the excess among
     // pairs that still have headroom, keeping Σ lo invariant.

@@ -1,0 +1,459 @@
+//! A hand-rolled, token-level lexer for Rust source.
+//!
+//! mclint needs just enough lexical structure to tell *code* apart from
+//! *prose*: rules must never fire on an identifier inside a string
+//! literal or a doc comment (the analysis crates' documentation is full
+//! of phrases like "`partial_cmp`" and "`thread::scope`"), and
+//! suppression/`hot-path` markers live *in* comments, so comments must
+//! survive as tokens rather than being discarded. Full parsing is
+//! deliberately out of scope — every rule is written against the token
+//! stream plus cheap structural passes (brace matching, attribute
+//! scanning) in [`crate::source`].
+//!
+//! The tricky corners this lexer gets right:
+//!
+//! * **Comments** — line (`//`), doc (`///`, `//!`) and *nested* block
+//!   comments (`/* /* */ */`), kept as [`TokenKind::LineComment`] /
+//!   [`TokenKind::BlockComment`] tokens.
+//! * **Strings** — cooked (`"…"` with escapes), byte (`b"…"`), raw
+//!   (`r"…"`, `r#"…"#` with any number of hashes) and raw byte
+//!   (`br#"…"#`) literals.
+//! * **Lifetimes vs char literals** — `'a` is a lifetime, `'a'` is a
+//!   char, `'\n'` is a char, `'static` is a lifetime.
+//! * **Raw identifiers** — `r#match` is one identifier token.
+//! * **Multi-character operators** — `<<`, `<<=`, `::`, `..=`, … are
+//!   single tokens (longest match), so rules can pattern-match operator
+//!   spellings directly.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`0`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `1f64`).
+    Float,
+    /// Any string-like literal (cooked, byte, raw, raw byte).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` to end of line (including doc comments).
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+    /// Operator / punctuation, longest-match (`<<=`, `::`, `+`, …).
+    Punct,
+}
+
+/// One token: kind plus byte span into the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// `(byte_offset, char)` pairs — indexing by *char* keeps every
+    /// produced span on a UTF-8 boundary even through the math symbols
+    /// in the analysis crates' doc comments.
+    chars: Vec<(usize, char)>,
+    i: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn at(&self, off: usize) -> char {
+        self.chars
+            .get(self.i + off)
+            .map(|&(_, c)| c)
+            .unwrap_or('\0')
+    }
+
+    fn byte(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn push(&mut self, kind: TokenKind, start_idx: usize, end_idx: usize) {
+        self.out.push(Token {
+            kind,
+            start: self.byte(start_idx),
+            end: self.byte(end_idx),
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.chars.len() && self.at(0) != '\n' {
+            self.i += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.i);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.chars.len() && depth > 0 {
+            if self.at(0) == '/' && self.at(1) == '*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.at(0) == '*' && self.at(1) == '/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.push(TokenKind::BlockComment, start, self.i);
+    }
+
+    /// Cooked string body: `self.i` sits on the opening quote.
+    fn cooked_string(&mut self, start: usize) {
+        self.i += 1;
+        while self.i < self.chars.len() {
+            match self.at(0) {
+                '\\' => self.i += 2,
+                '"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, self.i);
+    }
+
+    /// Raw string body: `self.i` sits on `r`/`br`'s `r`. Returns false
+    /// if this is not actually a raw string opener.
+    fn raw_string(&mut self, start: usize, prefix: usize) -> bool {
+        let mut k = prefix;
+        let mut hashes = 0usize;
+        while self.at(k) == '#' {
+            hashes += 1;
+            k += 1;
+        }
+        if self.at(k) != '"' {
+            return false;
+        }
+        self.i += k + 1;
+        while self.i < self.chars.len() {
+            if self.at(0) == '"' {
+                let mut h = 0;
+                while h < hashes && self.at(1 + h) == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            self.i += 1;
+        }
+        self.push(TokenKind::Str, start, self.i);
+        true
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        self.i += 1;
+        while is_ident_continue(self.at(0)) {
+            self.i += 1;
+        }
+        self.push(TokenKind::Ident, start, self.i);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut float = false;
+        if self.at(0) == '0' && matches!(self.at(1), 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+            self.i += 2;
+            while self.at(0).is_ascii_hexdigit() || self.at(0) == '_' {
+                self.i += 1;
+            }
+        } else {
+            while self.at(0).is_ascii_digit() || self.at(0) == '_' {
+                self.i += 1;
+            }
+            // A dot continues the number only when it is not a range
+            // (`0..n`) and not a method call on the literal (`1.max(x)`).
+            if self.at(0) == '.' && self.at(1).is_ascii_digit() {
+                float = true;
+                self.i += 1;
+                while self.at(0).is_ascii_digit() || self.at(0) == '_' {
+                    self.i += 1;
+                }
+            }
+            if matches!(self.at(0), 'e' | 'E')
+                && (self.at(1).is_ascii_digit()
+                    || (matches!(self.at(1), '+' | '-') && self.at(2).is_ascii_digit()))
+            {
+                float = true;
+                self.i += 1;
+                if matches!(self.at(0), '+' | '-') {
+                    self.i += 1;
+                }
+                while self.at(0).is_ascii_digit() || self.at(0) == '_' {
+                    self.i += 1;
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, `usize`): part of the literal.
+        if is_ident_start(self.at(0)) {
+            if self.at(0) == 'f' {
+                float = true;
+            }
+            while is_ident_continue(self.at(0)) {
+                self.i += 1;
+            }
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, self.i);
+    }
+
+    /// `self.i` sits on a `'`: lifetime or char literal.
+    fn lifetime_or_char(&mut self) {
+        let start = self.i;
+        let c1 = self.at(1);
+        if c1 == '\\' {
+            // Escaped char literal: skip the escape, then to the quote.
+            self.i += 2;
+            while self.i < self.chars.len() && self.at(0) != '\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            self.push(TokenKind::Char, start, self.i);
+        } else if is_ident_start(c1) {
+            let mut k = 2;
+            while is_ident_continue(self.at(k)) {
+                k += 1;
+            }
+            if k == 2 && self.at(k) == '\'' {
+                self.i += 3;
+                self.push(TokenKind::Char, start, self.i);
+            } else {
+                self.i += k;
+                self.push(TokenKind::Lifetime, start, self.i);
+            }
+        } else if self.at(2) == '\'' {
+            // One-symbol char literal like '+' or '0'.
+            self.i += 3;
+            self.push(TokenKind::Char, start, self.i);
+        } else {
+            // Stray quote (macro-land); emit as punctuation and move on.
+            self.i += 1;
+            self.push(TokenKind::Punct, start, self.i);
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        for op in OPS {
+            let len = op.chars().count();
+            if op
+                .chars()
+                .enumerate()
+                .all(|(k, expected)| self.at(k) == expected)
+            {
+                self.i += len;
+                self.push(TokenKind::Punct, start, self.i);
+                return;
+            }
+        }
+        self.i += 1;
+        self.push(TokenKind::Punct, start, self.i);
+    }
+}
+
+/// Lexes `src` into tokens (whitespace dropped, comments kept).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        chars: src.char_indices().collect(),
+        i: 0,
+        out: Vec::new(),
+    };
+    while lx.i < lx.chars.len() {
+        let c = lx.at(0);
+        if c.is_whitespace() {
+            lx.i += 1;
+        } else if c == '/' && lx.at(1) == '/' {
+            lx.line_comment();
+        } else if c == '/' && lx.at(1) == '*' {
+            lx.block_comment();
+        } else if c == 'r' {
+            let start = lx.i;
+            if lx.raw_string(start, 1) {
+                // consumed
+            } else if lx.at(1) == '#' && is_ident_start(lx.at(2)) {
+                // Raw identifier r#foo.
+                lx.i += 2;
+                while is_ident_continue(lx.at(0)) {
+                    lx.i += 1;
+                }
+                lx.push(TokenKind::Ident, start, lx.i);
+            } else {
+                lx.ident();
+            }
+        } else if c == 'b' {
+            let start = lx.i;
+            if lx.at(1) == 'r' && lx.raw_string(start, 2) {
+                // consumed raw byte string
+            } else if lx.at(1) == '"' {
+                lx.i += 1;
+                lx.cooked_string(start);
+            } else if lx.at(1) == '\'' {
+                lx.i += 1;
+                lx.lifetime_or_char();
+                // Re-tag: span must start at the `b`.
+                let start_byte = lx.byte(start);
+                if let Some(last) = lx.out.last_mut() {
+                    last.start = start_byte;
+                    last.kind = TokenKind::Char;
+                }
+            } else {
+                lx.ident();
+            }
+        } else if is_ident_start(c) {
+            lx.ident();
+        } else if c.is_ascii_digit() {
+            lx.number();
+        } else if c == '"' {
+            let start = lx.i;
+            lx.cooked_string(start);
+        } else if c == '\'' {
+            lx.lifetime_or_char();
+        } else {
+            lx.punct();
+        }
+    }
+    lx.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("a // unwrap()\n\"partial_cmp\" /* thread::scope */ b");
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1], (TokenKind::LineComment, "// unwrap()"));
+        assert_eq!(toks[2], (TokenKind::Str, "\"partial_cmp\""));
+        assert_eq!(toks[3], (TokenKind::BlockComment, "/* thread::scope */"));
+        assert_eq!(toks[4], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"one "quoted" two"#; y"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Str && t.1.contains("quoted")));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "y"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"b"ab" br#"cd"# b'x'"##);
+        assert_eq!(toks[0], (TokenKind::Str, "b\"ab\""));
+        assert_eq!(toks[1], (TokenKind::Str, "br#\"cd\"#"));
+        assert_eq!(toks[2], (TokenKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("'a 'static 'x' '\\n' '+'");
+        assert_eq!(toks[0], (TokenKind::Lifetime, "'a"));
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'static"));
+        assert_eq!(toks[2], (TokenKind::Char, "'x'"));
+        assert_eq!(toks[3], (TokenKind::Char, "'\\n'"));
+        assert_eq!(toks[4], (TokenKind::Char, "'+'"));
+    }
+
+    #[test]
+    fn raw_idents() {
+        let toks = kinds("r#match x");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("0xFF 1_000u64 1.5 2e9 1f64 0..10 v[1].len()");
+        assert_eq!(toks[0], (TokenKind::Int, "0xFF"));
+        assert_eq!(toks[1], (TokenKind::Int, "1_000u64"));
+        assert_eq!(toks[2], (TokenKind::Float, "1.5"));
+        assert_eq!(toks[3], (TokenKind::Float, "2e9"));
+        assert_eq!(toks[4], (TokenKind::Float, "1f64"));
+        // 0..10 must lex as Int, Punct(..), Int — not a float.
+        assert_eq!(toks[5], (TokenKind::Int, "0"));
+        assert_eq!(toks[6], (TokenKind::Punct, ".."));
+        assert_eq!(toks[7], (TokenKind::Int, "10"));
+        // v[1].len(): the literal stops before the method dot.
+        assert!(toks.contains(&(TokenKind::Int, "1")));
+        assert!(toks.contains(&(TokenKind::Ident, "len")));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a <<= b << c :: d ..= e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Punct)
+            .map(|t| t.1)
+            .collect();
+        assert_eq!(puncts, vec!["<<=", "<<", "::", "..="]);
+    }
+
+    #[test]
+    fn unicode_in_comments_is_safe() {
+        // Math symbols from the analysis docs: spans must stay on
+        // UTF-8 boundaries.
+        let src = "// ⌈a/b⌉ ≤ Σ C^H\nfn x() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    }
+}

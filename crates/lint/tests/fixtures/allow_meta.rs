@@ -1,0 +1,12 @@
+// Fixture for rules `bad-allow` / `unused-allow` (path-independent).
+
+fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    // mclint: allow(no-partial-cmp)
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+// mclint: allow(not-a-rule) reason="names a rule that does not exist"
+fn unknown() {}
+
+// mclint: allow(no-partial-cmp) reason="nothing here to suppress"
+fn unused() {}

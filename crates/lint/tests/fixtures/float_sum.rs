@@ -1,0 +1,26 @@
+// Fixture for rule `float-sum` (linted as crates/analysis/src/vdtune.rs).
+
+struct T;
+impl T {
+    fn utilization_hi(&self) -> f64 {
+        0.5
+    }
+}
+
+fn total(ts: &[T]) -> f64 {
+    let util: f64 = ts.iter().map(|t| t.utilization_hi()).sum();
+    util
+}
+
+fn documented(ts: &[T]) -> f64 {
+    // Insertion-order sum: verdict-bearing.
+    let mut util: f64 = 0.0;
+    for t in ts {
+        util += t.utilization_hi();
+    }
+    util
+}
+
+fn integer_sums_are_fine(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

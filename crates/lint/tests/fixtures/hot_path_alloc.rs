@@ -1,0 +1,25 @@
+// mclint: hot-path
+// Fixture for rule `hot-path-alloc`.
+
+fn probe(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.extend(xs.iter().copied());
+    let copy = xs.to_vec();
+    let s = format!("{}", copy.len());
+    drop(s);
+    out
+}
+
+// mclint: cold — constructors may allocate
+fn build() -> Vec<u64> {
+    let v = Vec::with_capacity(8);
+    v.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let _ = vec![1, 2, 3];
+    }
+}

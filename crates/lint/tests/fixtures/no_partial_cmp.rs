@@ -1,0 +1,9 @@
+// Fixture for rule `no-partial-cmp` (path-independent).
+
+fn order(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn fine(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,14 @@
+// Fixture for rule `reply-id` (linted as crates/exp/src/service.rs).
+
+struct Reply;
+impl Reply {
+    fn render(&self, _id: Option<&str>) -> String {
+        String::new()
+    }
+}
+
+fn respond(reply: &Reply, id: Option<&str>) -> (String, String) {
+    let with_id = reply.render(id);
+    let without = reply.render(None);
+    (with_id, without)
+}

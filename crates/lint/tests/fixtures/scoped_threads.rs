@@ -1,0 +1,11 @@
+// Fixture for rule `scoped-threads` (linted as crates/sim/src/run.rs;
+// the same source is clean when linted as crates/exp/src/engine.rs).
+
+use std::thread;
+
+fn fan_out(xs: &[u64]) -> u64 {
+    thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum::<u64>());
+        h.join().unwrap_or(0)
+    })
+}

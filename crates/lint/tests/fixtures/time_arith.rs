@@ -1,0 +1,28 @@
+// Fixture for rule `time-arith` (linted as crates/analysis/src/demand.rs).
+
+fn interference(wcet: u64, period: u64, r: u64) -> u64 {
+    let jobs = r.div_ceil(period);
+    wcet * jobs
+}
+
+fn accumulate(budget: u64, charge: u64) -> u64 {
+    let mut acc = budget;
+    acc += charge;
+    acc
+}
+
+fn widened(wcet: u64, jobs: u64) -> u128 {
+    wcet as u128 * jobs as u128
+}
+
+fn certified_fast(wcet: u64, jobs: u64) -> u64 {
+    wcet * jobs
+}
+
+fn monomorphised<const FAST: bool>(wcet: u64, jobs: u64) -> u64 {
+    if FAST {
+        wcet * jobs
+    } else {
+        wcet.saturating_mul(jobs)
+    }
+}

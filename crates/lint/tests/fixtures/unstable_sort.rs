@@ -1,0 +1,10 @@
+// mclint: hot-path
+// Fixture for rule `unstable-sort`.
+
+fn order(xs: &mut [u64], keys: &[u64]) {
+    xs.sort_by(|a, b| keys[*a as usize].cmp(&keys[*b as usize]));
+}
+
+fn fine(xs: &mut [u64], keys: &[u64]) {
+    xs.sort_unstable_by(|a, b| keys[*a as usize].cmp(&keys[*b as usize]));
+}

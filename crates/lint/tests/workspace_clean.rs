@@ -1,0 +1,46 @@
+//! Self-run: the committed workspace must lint clean against the
+//! committed (empty) baseline. This is the test that keeps the hot-path
+//! invariants machine-checked on every `cargo test`.
+
+use std::path::PathBuf;
+
+use mcsched_lint::{run, Options};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let baseline = root.join("mclint.baseline");
+    let report = run(&Options {
+        root: root.clone(),
+        baseline: Some(baseline),
+    })
+    .expect("lint run succeeds");
+
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        mcsched_lint::render_human(&report)
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "committed baseline must not carry stale entries: {:?}",
+        report.stale_baseline
+    );
+    assert_eq!(report.baselined, 0, "committed baseline must be empty");
+    assert!(report.is_clean());
+    // Sanity: the walker actually visited the workspace, not an empty dir.
+    assert!(
+        report.files > 50,
+        "expected a full workspace scan, saw {} files",
+        report.files
+    );
+}

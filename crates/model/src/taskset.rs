@@ -251,12 +251,23 @@ impl TaskSet {
 
     /// Total low-mode utilization of **all** tasks (`Σ u^L_i`).
     pub fn utilization_lo_total(&self) -> f64 {
-        self.tasks.iter().map(Task::utilization_lo).sum()
+        // Insertion-order sum: verdicts compare this against thresholds,
+        // so the accumulation order must never reassociate.
+        let mut u = 0.0;
+        for t in &self.tasks {
+            u += t.utilization_lo();
+        }
+        u
     }
 
     /// Total high-mode utilization of the HC tasks (`Σ_{HC} u^H_i`).
     pub fn utilization_hi_total(&self) -> f64 {
-        self.hi_tasks().map(Task::utilization_hi).sum()
+        // Insertion-order sum (see `utilization_lo_total`).
+        let mut u = 0.0;
+        for t in self.hi_tasks() {
+            u += t.utilization_hi();
+        }
+        u
     }
 
     /// The utilization difference of this set:
@@ -265,7 +276,12 @@ impl TaskSet {
     /// This is the quantity the UDP strategies balance across processors
     /// (`U_H^H(φk) − U_H^L(φk)` in the paper).
     pub fn utilization_difference(&self) -> f64 {
-        self.hi_tasks().map(Task::utilization_difference).sum()
+        // Insertion-order sum (see `utilization_lo_total`).
+        let mut u = 0.0;
+        for t in self.hi_tasks() {
+            u += t.utilization_difference();
+        }
+        u
     }
 
     /// Whether all deadlines are implicit or some are constrained.

@@ -91,6 +91,17 @@ impl Time {
         self.0.checked_add(rhs.0).map(Time)
     }
 
+    /// Multiplication by a scalar job count, clamped at `u64::MAX`.
+    ///
+    /// Demand terms are `WCET × ⌈·⌉` products; outside the certified
+    /// fast kernels they must saturate rather than wrap at 2^64 — a
+    /// saturated demand keeps a violation a violation, a wrapped one
+    /// can fake schedulability.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
+
     /// Checked multiplication by a scalar job count; `None` on overflow.
     #[inline]
     pub fn checked_mul(self, k: u64) -> Option<Time> {
