@@ -66,6 +66,7 @@ pub mod dbf;
 pub mod demand;
 pub mod edfvd;
 pub mod incremental;
+pub mod sufficient;
 pub mod vdtune;
 pub mod workspace;
 
@@ -78,6 +79,7 @@ pub use incremental::{
     AdmissionState, AdmissionStats, CloneRetestState, IncrementalTest, OneShot, OneShotState,
     SessionTest,
 };
+pub use sufficient::{FastRule, FastState};
 pub use vdtune::{Ecdf, Ey, VdAssignment, VdTuneState};
 pub use workspace::{AnalysisWorkspace, PooledWorkspace, WorkspaceRef};
 

@@ -257,6 +257,31 @@ impl ClusterSession {
         })
     }
 
+    /// Force-places `task` on `processor` **without consulting the
+    /// admission test** — the journal-replay path. Recovery replays
+    /// placements a live session already proved admissible, in commit
+    /// order, so the rebuilt states and summaries are bit-identical to
+    /// the pre-crash session (summaries accumulate in the same insertion
+    /// order). Returns `false` (cluster unchanged) on a duplicate id or
+    /// an out-of-range processor — a corrupt journal row, which the
+    /// caller reports rather than replays.
+    pub fn restore(&mut self, task: Task, processor: usize) -> bool {
+        if self.processor_of(task.id()).is_some() {
+            return false;
+        }
+        let Some(state) = self.states.get_mut(processor) else {
+            return false;
+        };
+        let id = task.id();
+        state.commit(task);
+        let summary = state.summary();
+        if let Some(slot) = self.summaries.get_mut(processor) {
+            *slot = summary;
+        }
+        self.placements.push((id, processor));
+        true
+    }
+
     /// Answers where [`admit`](ClusterSession::admit) *would* place the
     /// task, without committing anything: `Some(processor)` or `None`
     /// (unschedulable everywhere, or the id is already committed).

@@ -41,7 +41,7 @@
 use crate::algorithm::{MultiprocessorTest, PartitionedAlgorithm};
 use crate::presets;
 use crate::strategy::{AllocationOrder, BalanceMetric, FitRule, PartitionStrategy};
-use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey};
+use mcsched_analysis::{AmcMax, AmcRtb, Ecdf, EdfVd, Ey, FastRule, FastState};
 use serde::{Deserialize, Serialize, Value};
 use std::error::Error;
 use std::fmt;
@@ -219,6 +219,39 @@ impl AlgorithmSpec {
             TestName::AmcRtb => owned_states(&AmcRtb::new(), m),
             TestName::AmcMax => owned_states(&AmcMax::new(), m),
         };
+        crate::ClusterSession::from_parts(self.name(), self.strategy.clone(), states)
+    }
+
+    /// The sufficient-tier rule that is provably sound for this spec's
+    /// exact test (fast-accept ⇒ the exact test accepts; see
+    /// [`mcsched_analysis::sufficient`]).
+    pub fn fast_rule(&self) -> FastRule {
+        match self.test {
+            // The closed form *is* the EDF-VD test.
+            TestName::EdfVd => FastRule::EdfVdClosedForm,
+            // The demand tests are greedy heuristic searches that
+            // honour no density bound on HC-bearing sets; only the
+            // LC-only region is provable against them.
+            TestName::Ey | TestName::Ecdf => FastRule::LcOnlyDensity,
+            // Liu–Layland on own-level density ⇒ the AMC RTAs accept.
+            TestName::AmcRtb | TestName::AmcMax => FastRule::LiuLaylandOwnDensity,
+        }
+    }
+
+    /// Opens a **degraded-tier** cluster session: the same placement
+    /// strategy and display name as [`open_cluster`](Self::open_cluster),
+    /// but every processor runs the allocation-free sufficient pre-check
+    /// ([`fast_rule`](Self::fast_rule)) instead of the exact test.
+    ///
+    /// Accepts are sound — anything a degraded session commits, the
+    /// exact test also accepts, so the session can later be rehydrated
+    /// (or continued) under exact analysis. Rejects are advisory:
+    /// clients retry on an exact worker for a definitive verdict.
+    pub fn open_degraded_cluster(&self, m: usize) -> crate::ClusterSession {
+        let rule = self.fast_rule();
+        let states: Vec<Box<dyn mcsched_analysis::AdmissionState>> = (0..m)
+            .map(|_| Box::new(FastState::new(rule)) as Box<dyn mcsched_analysis::AdmissionState>)
+            .collect();
         crate::ClusterSession::from_parts(self.name(), self.strategy.clone(), states)
     }
 
@@ -479,6 +512,21 @@ impl AlgorithmRegistry {
         m: usize,
     ) -> Result<crate::ClusterSession, RegistryError> {
         self.spec(name).map(|spec| spec.open_cluster(m))
+    }
+
+    /// Parses a display name and opens a **degraded-tier** session (the
+    /// sufficient pre-check instead of the exact test; see
+    /// [`AlgorithmSpec::open_degraded_cluster`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`AlgorithmRegistry::spec`].
+    pub fn open_degraded_session(
+        &self,
+        name: &str,
+        m: usize,
+    ) -> Result<crate::ClusterSession, RegistryError> {
+        self.spec(name).map(|spec| spec.open_degraded_cluster(m))
     }
 }
 

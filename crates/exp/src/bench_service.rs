@@ -19,6 +19,14 @@
 //! An optional **overload burst** opens more simultaneous connections
 //! than the server's pool + queue can hold and counts the typed
 //! `{"type": "overload"}` sheds — exercising backpressure end to end.
+//!
+//! With [`ServiceBenchConfig::retries`] set, the benchmark client
+//! retries refused connects and shed (overload-replied) phase
+//! connections with linear backoff, and the warm phase switches to
+//! *named* sessions with `op_id`-tagged admits — so a retried phase
+//! replays committed operations idempotently instead of double-applying
+//! them on a journaled server. [`ServiceBenchConfig::journal`] turns the
+//! same durable workload on for the in-process server.
 
 use crate::analysis_perf::uniprocessor_corpus;
 use crate::protocol::{Envelope, EvalRequest, Reply, Request, RequestId};
@@ -54,6 +62,18 @@ pub struct ServiceBenchConfig {
     /// Finish by asking the server to shut down (in-band `shutdown` for
     /// an external server, the handle for an in-process one).
     pub shutdown_after: bool,
+    /// Bounded retries on refused connects and shed phase connections
+    /// (`0` fails fast). Any positive value also switches the warm
+    /// phase to named sessions with idempotent `op_id` admits.
+    pub retries: usize,
+    /// Linear backoff between retries: attempt `k` sleeps `k *
+    /// backoff_ms` milliseconds first.
+    pub backoff_ms: u64,
+    /// Journal path for the in-process server (ignored with an external
+    /// [`ServiceBenchConfig::addr`] — the external server owns its
+    /// journal). Implies named sessions + `op_id` admits, like
+    /// [`ServiceBenchConfig::retries`].
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceBenchConfig {
@@ -67,6 +87,9 @@ impl Default for ServiceBenchConfig {
             pipeline: 32,
             burst: 8,
             shutdown_after: false,
+            retries: 0,
+            backoff_ms: 50,
+            journal: None,
         }
     }
 }
@@ -124,6 +147,8 @@ pub struct ServiceBenchReport {
     pub speedup: f64,
     /// The backpressure burst, when run.
     pub overload: Option<OverloadStats>,
+    /// Connect/shed retries the client spent across both phases.
+    pub retries_used: usize,
 }
 
 /// A pipelining JSONL client over one TCP connection.
@@ -203,7 +228,16 @@ fn run_phase(client: &mut Client, requests: &[Request], window: usize) -> io::Re
             Reply::Eval(r) => accepted += usize::from(r.schedulable),
             Reply::Admit(a) => accepted += usize::from(a.admitted),
             Reply::Session(_) | Reply::Remove(_) | Reply::Query(_) => {}
-            Reply::Error { error } | Reply::Overload { error } => {
+            // A shed connection gets one overload reply before any
+            // request is processed — retryable (ConnectionRefused, so
+            // `run_phase_with_retry` can tell it from a protocol bug).
+            Reply::Overload { error } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("connection shed: {error}"),
+                ));
+            }
+            Reply::Error { error } => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("server answered request {id} with an error: {error}"),
@@ -239,6 +273,58 @@ fn run_phase(client: &mut Client, requests: &[Request], window: usize) -> io::Re
         p95_us: pct(95.0),
         p99_us: pct(99.0),
     })
+}
+
+/// Connects with up to `retries` extra attempts on a refused connect,
+/// sleeping `attempt * backoff_ms` before each retry.
+fn connect_with_retry(
+    addr: &str,
+    retries: usize,
+    backoff_ms: u64,
+    retries_used: &mut usize,
+) -> io::Result<Client> {
+    let mut attempt = 0usize;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                *retries_used += 1;
+                eprintln!("[bench-service] connect failed ({e}); retry {attempt}/{retries}");
+                std::thread::sleep(Duration::from_millis(backoff_ms * attempt as u64));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs one phase, reconnecting and restarting on a shed connection
+/// (bounded by `retries`). Restart-from-scratch is safe: a shed happens
+/// before the server reads any request, and the `op_id`s on retried
+/// workloads make replays of committed admits idempotent on a journaled
+/// server besides.
+fn run_phase_with_retry(
+    client: &mut Client,
+    addr: &str,
+    requests: &[Request],
+    window: usize,
+    retries: usize,
+    backoff_ms: u64,
+    retries_used: &mut usize,
+) -> io::Result<PhaseStats> {
+    let mut attempt = 0usize;
+    loop {
+        match run_phase(client, requests, window) {
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && attempt < retries => {
+                attempt += 1;
+                *retries_used += 1;
+                eprintln!("[bench-service] phase shed ({e}); retry {attempt}/{retries}");
+                std::thread::sleep(Duration::from_millis(backoff_ms * attempt as u64));
+                *client = connect_with_retry(addr, retries, backoff_ms, retries_used)?;
+            }
+            other => return other,
+        }
+    }
 }
 
 /// Opens `count` extra connections as fast as possible and counts the
@@ -299,15 +385,23 @@ pub fn run_service_bench(config: &ServiceBenchConfig) -> io::Result<ServiceBench
     }
 
     // Warm: one session per set (reopening replaces it), one admit per
-    // arrival.
+    // arrival. The durable variant (retries or a journal) names each
+    // session and tags every admit with an op_id, so replays after a
+    // retry hit the journal's idempotency window instead of
+    // double-committing.
+    let durable = config.retries > 0 || config.journal.is_some();
     let mut warm_requests = Vec::with_capacity(arrivals + corpus.len());
-    for ts in &corpus {
+    for (set, ts) in corpus.iter().enumerate() {
         warm_requests.push(Request::OpenSession {
             algorithm: config.algorithm.clone(),
             m: config.m,
+            session: durable.then(|| format!("bench-{}-{set}", config.seed)),
         });
-        for task in ts.iter() {
-            warm_requests.push(Request::Admit { task: *task });
+        for (i, task) in ts.iter().enumerate() {
+            warm_requests.push(Request::Admit {
+                task: *task,
+                op_id: durable.then(|| format!("b{set}-{i}")),
+            });
         }
     }
 
@@ -320,6 +414,7 @@ pub fn run_service_bench(config: &ServiceBenchConfig) -> io::Result<ServiceBench
                     workers: 2,
                     queue_depth: 2,
                     allow_shutdown: true,
+                    journal: config.journal.clone(),
                     ..ServerConfig::default()
                 },
             )?;
@@ -334,10 +429,28 @@ pub fn run_service_bench(config: &ServiceBenchConfig) -> io::Result<ServiceBench
         (None, None) => unreachable!("in-process server exists when no addr is given"),
     };
 
+    let mut retries_used = 0usize;
     let result = (|| {
-        let mut client = Client::connect(&addr)?;
-        let cold = run_phase(&mut client, &cold_requests, config.pipeline)?;
-        let warm = run_phase(&mut client, &warm_requests, config.pipeline)?;
+        let mut client =
+            connect_with_retry(&addr, config.retries, config.backoff_ms, &mut retries_used)?;
+        let cold = run_phase_with_retry(
+            &mut client,
+            &addr,
+            &cold_requests,
+            config.pipeline,
+            config.retries,
+            config.backoff_ms,
+            &mut retries_used,
+        )?;
+        let warm = run_phase_with_retry(
+            &mut client,
+            &addr,
+            &warm_requests,
+            config.pipeline,
+            config.retries,
+            config.backoff_ms,
+            &mut retries_used,
+        )?;
         let overload = if config.burst > 0 {
             Some(overload_burst(&addr, config.burst))
         } else {
@@ -371,6 +484,7 @@ pub fn run_service_bench(config: &ServiceBenchConfig) -> io::Result<ServiceBench
             warm,
             speedup,
             overload,
+            retries_used,
         })
     })();
 
@@ -416,6 +530,9 @@ pub fn render_service_bench(report: &ServiceBenchReport) -> String {
             o.overloads, o.connections
         ));
     }
+    if report.retries_used > 0 {
+        out.push_str(&format!("client retries spent: {}\n", report.retries_used));
+    }
     out
 }
 
@@ -446,15 +563,45 @@ mod tests {
     }
 
     #[test]
+    fn durable_bench_journals_named_sessions() {
+        let path =
+            std::env::temp_dir().join(format!("mcexp-bench-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceBenchConfig {
+            sets: 2,
+            m: 2,
+            pipeline: 4,
+            burst: 0,
+            retries: 2,
+            backoff_ms: 1,
+            journal: Some(path.clone()),
+            ..ServiceBenchConfig::default()
+        };
+        let report = run_service_bench(&config).unwrap();
+        assert_eq!(report.retries_used, 0, "no faults, no retries");
+        let journal = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            journal.contains("\"s\":\"bench-42-0\""),
+            "warm sessions are named and journaled: {journal}"
+        );
+        assert!(
+            journal.contains("\"op\":\"b0-0\""),
+            "admits carry idempotent op ids: {journal}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn overload_burst_sheds_when_saturated() {
-        // Tiny pool: 1 worker, queue of 1. The first burst connection
-        // may be served/queued; with 6 connections at least a few must
-        // be shed with a typed overload reply.
+        // Tiny pool: 1 worker, queue of 1, degraded tier disabled so
+        // overflow sheds instead of spilling. With 6 connections at
+        // least a few must be shed with a typed overload reply.
         let server = Server::bind(
             AlgorithmRegistry::standard(),
             ServerConfig {
                 workers: 1,
                 queue_depth: 1,
+                degraded_workers: 0,
                 ..ServerConfig::default()
             },
         )

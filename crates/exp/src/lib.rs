@@ -46,10 +46,12 @@ pub mod ablation;
 pub mod algorithms;
 pub mod analysis_perf;
 pub mod bench_service;
+pub mod chaos;
 pub mod engine;
 pub mod figures;
 pub mod headline;
 pub mod isolation;
+pub mod journal;
 pub mod perf;
 pub mod protocol;
 pub mod report;

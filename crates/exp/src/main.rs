@@ -11,8 +11,12 @@
 //! mcexp eval [--input FILE] [--output FILE]   # JSONL request/response
 //! mcexp serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
 //!             [--max-requests N] [--allow-shutdown]
+//!             [--journal FILE] [--recover]
 //! mcexp bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N]
 //!                     [--pipeline K] [--burst N] [--out FILE] [--shutdown]
+//!                     [--retries N] [--backoff-ms MS] [--journal FILE]
+//!                     [--gate-speedup X]
+//! mcexp chaos [--seeds N] [--steps N] [--out FILE]
 //! mcexp lint [--json | --fixable] [--baseline FILE] [--root DIR]
 //! ```
 //!
@@ -34,6 +38,7 @@ use mcsched_exp::analysis_perf::{
 use mcsched_exp::bench_service::{
     render_service_bench, run_service_bench, write_service_json, ServiceBenchConfig,
 };
+use mcsched_exp::chaos::{render_chaos, run_chaos, write_chaos_json, ChaosConfig};
 use mcsched_exp::figures::{
     fig3_panel, fig4_panel, fig5_panel, fig6a, fig6b, render_war_table, FIGURE_M,
 };
@@ -91,6 +96,15 @@ struct Args {
     pipeline: Option<usize>,
     burst: Option<usize>,
     shutdown: bool,
+    journal: Option<PathBuf>,
+    recover: bool,
+    retries: Option<usize>,
+    backoff_ms: Option<u64>,
+    gate_speedup: Option<f64>,
+    // chaos options
+    chaos: bool,
+    seeds: Option<u64>,
+    steps: Option<usize>,
     help: bool,
     // lint options
     lint: bool,
@@ -135,6 +149,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         pipeline: None,
         burst: None,
         shutdown: false,
+        journal: None,
+        recover: false,
+        retries: None,
+        backoff_ms: None,
+        gate_speedup: None,
+        chaos: false,
+        seeds: None,
+        steps: None,
         help: false,
         lint: false,
         lint_json: false,
@@ -160,6 +182,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "eval" => args.eval = true,
             "serve" => args.serve = true,
             "bench-service" => args.bench = true,
+            "chaos" => args.chaos = true,
             "lint" => args.lint = true,
             "help" => {
                 args.help = true;
@@ -169,7 +192,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown subcommand `{other}` (expected sweep, headline, ablation, \
-                     isolation, all, perf, analysis, eval, serve, bench-service, or lint)"
+                     isolation, all, perf, analysis, eval, serve, bench-service, chaos, \
+                     or lint)"
                 ));
             }
         }
@@ -327,6 +351,43 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--shutdown" => args.shutdown = true,
+            "--journal" => args.journal = Some(PathBuf::from(value(&mut i)?)),
+            "--recover" => args.recover = true,
+            "--retries" => {
+                args.retries = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --backoff-ms: {e}"))?,
+                );
+            }
+            "--gate-speedup" => {
+                args.gate_speedup = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --gate-speedup: {e}"))?,
+                );
+            }
+            "--seeds" => {
+                args.seeds = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --seeds: {e}"))?,
+                );
+            }
+            "--steps" => {
+                args.steps = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --steps: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 args.help = true;
                 return Ok(args);
@@ -360,9 +421,28 @@ fn validate(args: &Args) -> Result<(), String> {
         ("--queue", args.queue),
         ("--pipeline", args.pipeline),
         ("--burst", args.burst),
+        ("--steps", args.steps),
     ] {
         if v == Some(0) {
             return Err(format!("{flag} must be at least 1"));
+        }
+    }
+    if args.seeds == Some(0) {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    if args.recover && args.journal.is_none() {
+        return Err("--recover needs --journal FILE to recover from".to_owned());
+    }
+    if args.bench && args.journal.is_some() && args.addr.is_some() {
+        return Err(
+            "bench-service --journal only applies to the in-process server; \
+             an external server (--addr) owns its own journal"
+                .to_owned(),
+        );
+    }
+    if let Some(gate) = args.gate_speedup {
+        if !gate.is_finite() || gate <= 0.0 {
+            return Err("--gate-speedup must be a positive number".to_owned());
         }
     }
     if let Some(addr) = &args.addr {
@@ -394,11 +474,24 @@ subcommands:
                             at any measured m (e.g. --gate AMC-rtb:1.5)
   eval [--input F] [--output F]   one-shot JSONL verdicts (stdin/stdout)
   serve [--addr H:P] [--workers N] [--queue N] [--idle-secs S]
-        [--max-requests N] [--allow-shutdown]
-                            persistent admission-control server (JSONL/TCP)
+        [--max-requests N] [--allow-shutdown] [--journal FILE] [--recover]
+                            persistent admission-control server (JSONL/TCP);
+                            --journal makes named sessions durable,
+                            --recover replays the journal on startup
   bench-service [--addr H:P] [--algorithm NAME] [--m M] [--sets N] [--seed S]
                 [--pipeline K] [--burst N] [--out FILE] [--shutdown]
-                            cold vs warm service benchmark (BENCH_service.json)
+                [--retries N] [--backoff-ms MS] [--journal FILE]
+                [--gate-speedup X]
+                            cold vs warm service benchmark (BENCH_service.json);
+                            --retries bounds connect/shed retry-with-backoff,
+                            --gate-speedup fails the run (exit 1) if the
+                            warm/cold speedup drops below X
+  chaos [--seeds N] [--steps N] [--out FILE]
+                            deterministic fault-injection soak: N seeded
+                            schedules driven through the full protocol state
+                            machine behind a faulty transport; exit 1 on any
+                            panic or divergence from the replay/oracle state
+                            (CHAOS.json)
   lint [--json | --fixable] [--baseline FILE] [--root DIR]
                             project-native static analysis (mclint); exit 0
                             clean, 1 findings, 2 usage error
@@ -481,9 +574,24 @@ fn run_serve_mode(args: &Args) -> std::io::Result<()> {
             None => defaults.idle_timeout,
         },
         allow_shutdown: args.allow_shutdown,
+        journal: args.journal.clone(),
+        recover: args.recover,
         ..defaults
     };
     let server = Server::bind(AlgorithmRegistry::standard(), config.clone())?;
+    if let Some(journal) = server.journal() {
+        let stats = journal.stats();
+        eprintln!(
+            "[mcexp] journal: {} ({} session op(s) recovered, {} torn record(s) skipped)",
+            config
+                .journal
+                .as_deref()
+                .unwrap_or_else(|| std::path::Path::new("?"))
+                .display(),
+            stats.recovered,
+            stats.skipped
+        );
+    }
     eprintln!(
         "[mcexp] serving protocol v1 on {} ({} worker(s), queue {}, shutdown {})",
         server.local_addr(),
@@ -523,6 +631,9 @@ fn run_bench_service_mode(args: &Args) -> std::io::Result<()> {
         pipeline: args.pipeline.unwrap_or(defaults.pipeline),
         burst: args.burst.unwrap_or(defaults.burst),
         shutdown_after: args.shutdown,
+        retries: args.retries.unwrap_or(defaults.retries),
+        backoff_ms: args.backoff_ms.unwrap_or(defaults.backoff_ms),
+        journal: args.journal.clone(),
     };
     eprintln!(
         "[mcexp] service bench: {} m={} sets={} pipeline={} burst={} ({})",
@@ -542,7 +653,49 @@ fn run_bench_service_mode(args: &Args) -> std::io::Result<()> {
         write_service_json(&report, path)?;
         eprintln!("[mcexp] wrote {}", path.display());
     }
+    // Gate after the artifact is written, so a failing run still ships
+    // the report that explains it.
+    if let Some(gate) = args.gate_speedup {
+        if report.speedup < gate {
+            eprintln!(
+                "[mcexp] GATE FAILED: warm/cold speedup {:.2}x < {gate}x",
+                report.speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[mcexp] speedup gate passed: {:.2}x >= {gate}x",
+            report.speedup
+        );
+    }
     Ok(())
+}
+
+/// Runs `mcexp chaos`: the deterministic fault-injection soak. Returns
+/// the process exit code (0 every seed consistent, 1 divergence).
+fn run_chaos_mode(args: &Args) -> i32 {
+    let defaults = ChaosConfig::default();
+    let config = ChaosConfig {
+        seeds: args.seeds.unwrap_or(defaults.seeds),
+        steps: args.steps.unwrap_or(defaults.steps),
+        ..defaults
+    };
+    eprintln!(
+        "[mcexp] chaos soak: {} seed(s), {} step(s) each",
+        config.seeds, config.steps
+    );
+    let report = run_chaos(&config);
+    println!("{}", render_chaos(&report));
+    if let Some(path) = &args.out {
+        match write_chaos_json(&report, path) {
+            Ok(()) => eprintln!("[mcexp] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[mcexp] failed to write {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    i32::from(!report.passed())
 }
 
 /// Runs `mcexp lint`: the project-native static analysis. Returns the
@@ -611,6 +764,10 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+
+    if args.chaos {
+        std::process::exit(run_chaos_mode(&args));
     }
 
     // Create the CSV output directory once up front so per-figure writes
@@ -801,6 +958,54 @@ mod tests {
         assert!(parse_args(&argv(&["serve", "--queue", "0"])).is_err());
         assert!(parse_args(&argv(&["bench-service", "--pipeline", "0"])).is_err());
         assert!(parse_args(&argv(&["bench-service", "--burst", "0"])).is_err());
+    }
+
+    #[test]
+    fn chaos_and_durability_flags_parse() {
+        let a = parse_args(&argv(&[
+            "chaos", "--seeds", "8", "--steps", "40", "--out", "c.json",
+        ]))
+        .unwrap();
+        assert!(a.chaos);
+        assert_eq!(a.seeds, Some(8));
+        assert_eq!(a.steps, Some(40));
+        assert!(a.out.is_some());
+        assert!(parse_args(&argv(&["chaos", "--seeds", "0"])).is_err());
+        assert!(parse_args(&argv(&["chaos", "--steps", "0"])).is_err());
+
+        let a = parse_args(&argv(&["serve", "--journal", "j.jsonl", "--recover"])).unwrap();
+        assert_eq!(a.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
+        assert!(a.recover);
+        assert!(
+            parse_args(&argv(&["serve", "--recover"])).is_err(),
+            "--recover without --journal is a usage error"
+        );
+
+        let a = parse_args(&argv(&[
+            "bench-service",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "10",
+            "--gate-speedup",
+            "2.0",
+        ]))
+        .unwrap();
+        assert_eq!(a.retries, Some(3));
+        assert_eq!(a.backoff_ms, Some(10));
+        assert_eq!(a.gate_speedup, Some(2.0));
+        assert!(parse_args(&argv(&["bench-service", "--gate-speedup", "0"])).is_err());
+        assert!(
+            parse_args(&argv(&[
+                "bench-service",
+                "--addr",
+                "127.0.0.1:7070",
+                "--journal",
+                "j.jsonl"
+            ]))
+            .is_err(),
+            "an external server owns its own journal"
+        );
     }
 
     #[test]

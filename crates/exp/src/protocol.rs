@@ -118,13 +118,28 @@ impl Envelope {
                     Value::Seq(req.tasks.iter().map(task_to_value).collect()),
                 ));
             }
-            Request::OpenSession { algorithm, m } => {
+            Request::OpenSession {
+                algorithm,
+                m,
+                session,
+            } => {
                 entries.push(("algorithm".to_owned(), Value::Str(algorithm.clone())));
                 entries.push(("m".to_owned(), Value::UInt(*m as u64)));
+                if let Some(name) = session {
+                    entries.push(("session".to_owned(), Value::Str(name.clone())));
+                }
             }
-            Request::Admit { task } => entries.push(("task".to_owned(), task_to_value(task))),
-            Request::Remove { task_id } => {
+            Request::Admit { task, op_id } => {
+                entries.push(("task".to_owned(), task_to_value(task)));
+                if let Some(op) = op_id {
+                    entries.push(("op_id".to_owned(), Value::Str(op.clone())));
+                }
+            }
+            Request::Remove { task_id, op_id } => {
                 entries.push(("task_id".to_owned(), Value::UInt(u64::from(task_id.0))));
+                if let Some(op) = op_id {
+                    entries.push(("op_id".to_owned(), Value::Str(op.clone())));
+                }
             }
             Request::Query { probe } => {
                 if let Some(task) = probe {
@@ -152,16 +167,29 @@ pub enum Request {
         algorithm: String,
         /// Processor count.
         m: usize,
+        /// Durable session name. When the server runs with a journal,
+        /// a named session's committed operations are journaled and the
+        /// session survives a crash (`mcexp serve --recover`); reopening
+        /// the same name with the same algorithm and `m` resumes it.
+        /// Anonymous sessions (the pre-journal behaviour) are ephemeral.
+        session: Option<String>,
     },
     /// Admit one task into the session's cluster (commits on success).
     Admit {
         /// The arriving task.
         task: Task,
+        /// Client-chosen idempotency token. On a named (journaled)
+        /// session, retrying an `admit` with an `op_id` the session has
+        /// already applied replays the recorded verdict instead of
+        /// re-executing — safe to resend after a lost reply.
+        op_id: Option<String>,
     },
     /// Remove a committed task from the session's cluster.
     Remove {
         /// Id of the task to remove.
         task_id: TaskId,
+        /// Idempotency token, as on [`Request::Admit`].
+        op_id: Option<String>,
     },
     /// Inspect the session: current partition, plus a non-committing
     /// placement probe when a task is supplied.
@@ -257,14 +285,28 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, EnvelopeError> {
                 .ok_or_else(|| fail("open_session needs a string `algorithm`".to_owned()))?
                 .to_owned();
             let m = parse_m(&v).map_err(&fail)?;
-            Request::OpenSession { algorithm, m }
+            let session = match v.get("session") {
+                None => None,
+                Some(s) if s.is_null() => None,
+                Some(s) => Some(
+                    s.as_str()
+                        .ok_or_else(|| fail("`session` must be a string".to_owned()))?
+                        .to_owned(),
+                ),
+            };
+            Request::OpenSession {
+                algorithm,
+                m,
+                session,
+            }
         }
         "admit" => {
             let task = v
                 .get("task")
                 .ok_or_else(|| fail("admit needs a `task` object".to_owned()))?;
             let task = task_from_value(task).map_err(|e| fail(format!("task: {e}")))?;
-            Request::Admit { task }
+            let op_id = parse_op_id(&v).map_err(&fail)?;
+            Request::Admit { task, op_id }
         }
         "remove" => {
             let raw = v
@@ -274,7 +316,8 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, EnvelopeError> {
             let task_id = u32::try_from(raw)
                 .map(TaskId)
                 .map_err(|_| fail("`task_id` out of range".to_owned()))?;
-            Request::Remove { task_id }
+            let op_id = parse_op_id(&v).map_err(&fail)?;
+            Request::Remove { task_id, op_id }
         }
         "query" => {
             let probe = match v.get("task") {
@@ -320,6 +363,19 @@ pub(crate) fn eval_from_value(v: &Value) -> Result<EvalRequest, String> {
         m,
         tasks,
     })
+}
+
+/// Parses the optional `op_id` idempotency token (string-only on the
+/// wire, so render/parse stay exact inverses).
+fn parse_op_id(v: &Value) -> Result<Option<String>, String> {
+    match v.get("op_id") {
+        None => Ok(None),
+        Some(s) if s.is_null() => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| "`op_id` must be a string".to_owned()),
+    }
 }
 
 fn parse_m(v: &Value) -> Result<usize, String> {
@@ -422,6 +478,11 @@ pub struct SessionReply {
     pub algorithm: String,
     /// The session's processor count.
     pub m: usize,
+    /// `true` when the session was opened on the degraded (sufficient)
+    /// admission tier: verdicts are accept-sound pre-checks, and a
+    /// `false` admit means "unproven", not "infeasible". Rendered on
+    /// the wire only when `true`, so v1 clients are unaffected.
+    pub degraded: bool,
 }
 
 /// The reply to `admit`.
@@ -437,6 +498,11 @@ pub struct AdmitReply {
     pub tasks: usize,
     /// Why the task was rejected (present iff not admitted).
     pub detail: Option<String>,
+    /// `true` when the verdict came from the degraded (sufficient)
+    /// tier: an accept is still sound, a reject only means the cheap
+    /// rule could not prove it — retry later for an exact verdict.
+    /// Rendered only when `true`.
+    pub degraded: bool,
 }
 
 /// The reply to `remove`.
@@ -474,6 +540,10 @@ pub struct QueryReply {
     pub partition: Vec<Vec<u32>>,
     /// The placement probe, when the query carried a task.
     pub probe: Option<ProbeReply>,
+    /// `true` when this session runs on the degraded (sufficient)
+    /// admission tier (probe verdicts are accept-sound pre-checks).
+    /// Rendered only when `true`.
+    pub degraded: bool,
 }
 
 /// One reply line — always typed, versioned, and id-echoing.
@@ -556,7 +626,13 @@ impl Reply {
             }
         };
         if let Value::Map(body) = body {
-            entries.extend(body);
+            // `degraded` is a v1 extension: absent means `false`, so a
+            // false flag is dropped from the wire and pre-extension
+            // clients never see an unfamiliar field on normal replies.
+            entries.extend(
+                body.into_iter()
+                    .filter(|(k, v)| !(k == "degraded" && *v == Value::Bool(false))),
+            );
         }
         // mclint: allow(no-panic) reason="Value-tree serialization has no Err path in the vendored stub; an Err here is a build break, not a request-time state"
         serde_json::to_string(&Value::Map(entries)).expect("stub serialization is infallible")
@@ -598,6 +674,8 @@ pub fn parse_reply(line: &str) -> Result<(Option<RequestId>, Reply), String> {
         Some(x) => x.as_u64().and_then(|n| usize::try_from(n).ok()),
     };
     let opt_str = |name: &str| v.get(name).and_then(Value::as_str).map(str::to_owned);
+    // The v1 `degraded` extension: absent (or null) means false.
+    let degraded = v.get("degraded").and_then(Value::as_bool).unwrap_or(false);
     let reply = match kind {
         "eval" => Reply::Eval(EvalResponse {
             algorithm: str_field("algorithm")?,
@@ -617,6 +695,7 @@ pub fn parse_reply(line: &str) -> Result<(Option<RequestId>, Reply), String> {
         "session" => Reply::Session(SessionReply {
             algorithm: str_field("algorithm")?,
             m: usize_field("m")?,
+            degraded,
         }),
         "admit" => Reply::Admit(AdmitReply {
             admitted: bool_field("admitted")?,
@@ -629,6 +708,7 @@ pub fn parse_reply(line: &str) -> Result<(Option<RequestId>, Reply), String> {
             .map_err(|_| "`task` out of range".to_owned())?,
             tasks: usize_field("tasks")?,
             detail: opt_str("detail"),
+            degraded,
         }),
         "remove" => Reply::Remove(RemoveReply {
             removed: bool_field("removed")?,
@@ -662,6 +742,7 @@ pub fn parse_reply(line: &str) -> Result<(Option<RequestId>, Reply), String> {
                         .and_then(|n| usize::try_from(n).ok()),
                 }),
             },
+            degraded,
         }),
         "closed" => Reply::Closed {
             reason: str_field("reason")?,
@@ -718,15 +799,33 @@ mod tests {
                 Request::OpenSession {
                     algorithm: "CA-UDP-ECDF".to_owned(),
                     m: 4,
+                    session: None,
                 },
             ),
+            Envelope::new(Request::OpenSession {
+                algorithm: "CU-UDP-EY".to_owned(),
+                m: 2,
+                session: Some("payload-7".to_owned()),
+            }),
             Envelope::with_id(
                 RequestId::Str("a-1".to_owned()),
                 Request::Admit {
                     task: hi(3, 30, 5, 9),
+                    op_id: None,
                 },
             ),
-            Envelope::new(Request::Remove { task_id: TaskId(3) }),
+            Envelope::new(Request::Admit {
+                task: hi(5, 60, 5, 9),
+                op_id: Some("op-41".to_owned()),
+            }),
+            Envelope::new(Request::Remove {
+                task_id: TaskId(3),
+                op_id: None,
+            }),
+            Envelope::new(Request::Remove {
+                task_id: TaskId(5),
+                op_id: Some("op-42".to_owned()),
+            }),
             Envelope::new(Request::Query { probe: None }),
             Envelope::new(Request::Query {
                 probe: Some(hi(4, 40, 1, 2)),
@@ -763,6 +862,12 @@ mod tests {
             Reply::Session(SessionReply {
                 algorithm: "CA-UDP-EY".to_owned(),
                 m: 4,
+                degraded: false,
+            }),
+            Reply::Session(SessionReply {
+                algorithm: "CA-UDP-EY".to_owned(),
+                m: 4,
+                degraded: true,
             }),
             Reply::Admit(AdmitReply {
                 admitted: true,
@@ -770,6 +875,7 @@ mod tests {
                 task: 9,
                 tasks: 3,
                 detail: None,
+                degraded: false,
             }),
             Reply::Admit(AdmitReply {
                 admitted: false,
@@ -777,6 +883,7 @@ mod tests {
                 task: 9,
                 tasks: 2,
                 detail: Some("not schedulable anywhere".to_owned()),
+                degraded: true,
             }),
             Reply::Remove(RemoveReply {
                 removed: true,
@@ -793,6 +900,7 @@ mod tests {
                     fits: true,
                     processor: Some(1),
                 }),
+                degraded: true,
             }),
             Reply::Closed {
                 reason: "client close".to_owned(),
@@ -884,6 +992,47 @@ mod tests {
         let (back_id, reply) = parse_reply(&line).unwrap();
         assert_eq!(back_id, Some(id));
         assert_eq!(reply, Reply::error("nope"));
+    }
+
+    #[test]
+    fn degraded_flag_is_absent_unless_true() {
+        // A non-degraded reply must be byte-identical to what a
+        // pre-extension server rendered: no `degraded` key at all.
+        let exact = Reply::Session(SessionReply {
+            algorithm: "CU-UDP-EDF-VD".to_owned(),
+            m: 2,
+            degraded: false,
+        });
+        let line = exact.render(None);
+        assert!(!line.contains("degraded"), "{line}");
+        let (_, back) = parse_reply(&line).unwrap();
+        assert_eq!(back, exact);
+        // And a degraded reply carries the flag explicitly.
+        let degraded = Reply::Session(SessionReply {
+            algorithm: "CU-UDP-EDF-VD".to_owned(),
+            m: 2,
+            degraded: true,
+        });
+        let line = degraded.render(None);
+        assert!(line.contains(r#""degraded":true"#), "{line}");
+        let (_, back) = parse_reply(&line).unwrap();
+        assert_eq!(back, degraded);
+    }
+
+    #[test]
+    fn op_id_and_session_must_be_strings() {
+        let err =
+            parse_envelope(r#"{"type": "open_session", "algorithm": "X", "m": 1, "session": 3}"#)
+                .unwrap_err();
+        assert!(err.message.contains("`session` must be a string"));
+        let err = parse_envelope(r#"{"type": "remove", "task_id": 1, "op_id": 7}"#).unwrap_err();
+        assert!(err.message.contains("`op_id` must be a string"));
+        // null is treated as absent for both.
+        let env = parse_envelope(
+            r#"{"type": "admit", "op_id": null, "task": {"id": 1, "period": 10, "wcet_lo": 1}}"#,
+        )
+        .unwrap();
+        assert!(matches!(env.request, Request::Admit { op_id: None, .. }));
     }
 
     #[test]

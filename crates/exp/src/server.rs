@@ -12,16 +12,30 @@
 //! [`protocol`](crate::protocol) (versioned, id-echoing). The transport
 //! is plain TCP via the vendored [`netframe`] layer.
 //!
-//! ## Concurrency and backpressure
+//! ## Concurrency, backpressure, and the degraded tier
 //!
 //! One acceptor thread hands connections to a fixed pool of worker
 //! threads over a bounded queue. The pool never grows and the queue
-//! never blocks the acceptor: when every worker is busy and the queue is
-//! full, new connections are *shed* with a typed
-//! `{"type": "overload"}` reply and closed — callers see explicit
-//! backpressure instead of unbounded latency. Sessions hold `Rc`-based
-//! analysis scratch, so each lives entirely on the worker thread that
-//! serves its connection.
+//! never blocks the acceptor. When the exact pool saturates, new
+//! connections spill to a small **degraded** pool whose sessions use
+//! the allocation-free sufficient tier
+//! ([`FastState`](mcsched_analysis::FastState)): accepts are still
+//! sound (the exact test would agree), rejects only mean "unproven",
+//! and every reply is tagged `"degraded": true` so the client can
+//! reconnect later for exact verdicts. Only when *both* queues are
+//! full is a connection *shed* with a typed `{"type": "overload"}`
+//! reply — callers always see explicit backpressure, never unbounded
+//! latency. Sessions hold `Rc`-based analysis scratch, so each lives
+//! entirely on the worker thread that serves its connection.
+//!
+//! ## Durability
+//!
+//! With [`ServerConfig::journal`] set, named sessions (`open_session`
+//! with a `"session"` field) journal every committed admit/remove
+//! before the reply is sent ([`Journal`]); `--recover` on restart
+//! replays the log, and reopening the same name resumes the session
+//! exactly where the journal left it. `op_id`-carrying admits and
+//! removes are idempotent within the journal's replay window.
 //!
 //! ## Lifecycle
 //!
@@ -29,10 +43,14 @@
 //!   footprint ([`ServerConfig`]);
 //! * connections idle past [`ServerConfig::idle_timeout`] are reaped
 //!   with a `{"type": "closed", "reason": "idle timeout"}` notice;
+//! * half-finished frames trickling past
+//!   [`ServerConfig::frame_deadline`] are reaped mid-frame (the
+//!   slowloris guard) with a `{"type": "closed"}` notice;
 //! * [`ServerHandle::shutdown`] (or an in-band `shutdown` request, when
 //!   enabled) stops the acceptor, drains queued connections, lets
 //!   in-flight requests finish, and returns the run's totals.
 
+use crate::journal::{Journal, OpKind};
 use crate::protocol::{
     parse_envelope, AdmitReply, ProbeReply, QueryReply, RemoveReply, Reply, Request, RequestId,
     SessionReply,
@@ -42,7 +60,21 @@ use mcsched_core::{AlgorithmRegistry, ClusterSession};
 use netframe::{wake, write_frame, Bounded, FrameError, FrameReader, PushError, ShutdownFlag};
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Which admission tier a worker serves connections on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionTier {
+    /// Full-precision admission: verdicts are exactly the one-shot
+    /// analysis verdicts on the committed union.
+    Exact,
+    /// The sufficient tier: allocation-free accept-sound pre-checks
+    /// (see [`mcsched_analysis::FastState`]); replies carry
+    /// `"degraded": true`.
+    Degraded,
+}
 
 /// Tuning knobs for [`Server`]. `Default` is sized for a local service.
 #[derive(Debug, Clone)]
@@ -65,6 +97,19 @@ pub struct ServerConfig {
     pub max_session_tasks: usize,
     /// Reap connections idle this long (`None` disables reaping).
     pub idle_timeout: Option<Duration>,
+    /// Reap a connection whose *frame* has been arriving this long
+    /// without completing (`None` disables the slowloris guard). The
+    /// idle timeout cannot catch this case: a byte every few seconds
+    /// keeps the socket "active" while the half-frame pins a worker.
+    pub frame_deadline: Option<Duration>,
+    /// Worker threads of the degraded (sufficient-tier) spillover pool;
+    /// `0` disables the tier and overflow connections are shed.
+    pub degraded_workers: usize,
+    /// Journal committed named-session operations to this file.
+    pub journal: Option<PathBuf>,
+    /// Recover sessions from an existing journal instead of truncating
+    /// it (only meaningful with [`ServerConfig::journal`]).
+    pub recover: bool,
     /// Honour the in-band `shutdown` request (for tests and CI; off by
     /// default so a client cannot stop a shared server).
     pub allow_shutdown: bool,
@@ -81,6 +126,10 @@ impl Default for ServerConfig {
             max_session_m: 1024,
             max_session_tasks: 100_000,
             idle_timeout: Some(Duration::from_secs(30)),
+            frame_deadline: Some(Duration::from_secs(10)),
+            degraded_workers: 1,
+            journal: None,
+            recover: false,
             allow_shutdown: false,
         }
     }
@@ -107,6 +156,8 @@ pub struct ServerStats {
     pub requests: u64,
     /// Requests answered with an error reply.
     pub errors: u64,
+    /// Connections served on the degraded (sufficient) tier.
+    pub degraded_connections: u64,
     /// Connections shed with an overload reply.
     pub overloads: u64,
 }
@@ -140,25 +191,39 @@ pub struct Server {
     addr: SocketAddr,
     config: ServerConfig,
     registry: AlgorithmRegistry,
+    journal: Option<Arc<Journal>>,
     shutdown: ShutdownFlag,
 }
 
 impl Server {
-    /// Binds the listener (resolving port 0 to a real port).
+    /// Binds the listener (resolving port 0 to a real port) and opens
+    /// — or, with [`ServerConfig::recover`], replays — the journal.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind and journal-open failures.
     pub fn bind(registry: AlgorithmRegistry, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let journal = match &config.journal {
+            None => None,
+            Some(path) if config.recover => Some(Arc::new(Journal::recover(path)?)),
+            Some(path) => Some(Arc::new(Journal::create(path)?)),
+        };
         Ok(Server {
             listener,
             addr,
             config,
             registry,
+            journal,
             shutdown: ShutdownFlag::new(),
         })
+    }
+
+    /// The journal, when the server runs with one (tests and tooling
+    /// inspect recovered session images through it).
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// The bound address.
@@ -189,6 +254,7 @@ impl Server {
             addr: _,
             config,
             registry,
+            journal,
             shutdown,
         } = self;
         let handle = ServerHandle {
@@ -196,24 +262,35 @@ impl Server {
             flag: shutdown.clone(),
         };
         let queue: Bounded<TcpStream> = Bounded::new(config.queue_depth.max(1));
+        let degraded_queue: Bounded<TcpStream> = Bounded::new(config.queue_depth.max(1));
         let mut stats = ServerStats::default();
+        let serve = |queue: &Bounded<TcpStream>, tier: AdmissionTier| {
+            let mut totals = ServerStats::default();
+            while let Some(stream) = queue.pop() {
+                totals.connections += 1;
+                if tier == AdmissionTier::Degraded {
+                    totals.degraded_connections += 1;
+                }
+                let conn = serve_tcp(&registry, &config, tier, journal.as_deref(), stream);
+                totals.requests += conn.requests;
+                totals.errors += conn.errors;
+                if conn.shutdown_requested {
+                    handle.shutdown();
+                }
+            }
+            totals
+        };
         // mclint: allow(scoped-threads) reason="the accept/worker pool is a server runtime, not an experiment batch; engine.rs only covers deterministic result merging"
         let worker_totals = std::thread::scope(|scope| {
-            let mut workers = Vec::with_capacity(config.workers.max(1));
+            let mut workers = Vec::with_capacity(config.workers.max(1) + config.degraded_workers);
+            let serve = &serve;
             for _ in 0..config.workers.max(1) {
-                workers.push(scope.spawn(|| {
-                    let mut totals = ServerStats::default();
-                    while let Some(stream) = queue.pop() {
-                        totals.connections += 1;
-                        let conn = serve_tcp(&registry, &config, stream);
-                        totals.requests += conn.requests;
-                        totals.errors += conn.errors;
-                        if conn.shutdown_requested {
-                            handle.shutdown();
-                        }
-                    }
-                    totals
-                }));
+                let queue = &queue;
+                workers.push(scope.spawn(move || serve(queue, AdmissionTier::Exact)));
+            }
+            for _ in 0..config.degraded_workers {
+                let queue = &degraded_queue;
+                workers.push(scope.spawn(move || serve(queue, AdmissionTier::Degraded)));
             }
             let mut accept_failures = 0u32;
             loop {
@@ -240,17 +317,31 @@ impl Server {
                     // The wake-up nudge itself; drop it and stop.
                     break;
                 }
+                // Exact pool first; spill to the degraded tier when it
+                // is saturated; shed only when both queues are full.
                 match queue.try_push(stream) {
                     Ok(()) => {}
                     Err(PushError::Full(stream)) => {
-                        stats.overloads += 1;
-                        shed_overloaded(stream);
+                        if config.degraded_workers == 0 {
+                            stats.overloads += 1;
+                            shed_overloaded(stream);
+                            continue;
+                        }
+                        match degraded_queue.try_push(stream) {
+                            Ok(()) => {}
+                            Err(PushError::Full(stream)) => {
+                                stats.overloads += 1;
+                                shed_overloaded(stream);
+                            }
+                            Err(PushError::Closed(_)) => break,
+                        }
                     }
                     Err(PushError::Closed(_)) => break,
                 }
             }
             // Drain: workers finish queued + in-flight connections.
             queue.close();
+            degraded_queue.close();
             workers
                 .into_iter()
                 // mclint: allow(no-panic) reason="join() only errs if a worker panicked; serve_connection is panic-free, so this propagates a bug rather than masking it"
@@ -261,6 +352,7 @@ impl Server {
             stats.connections += totals.connections;
             stats.requests += totals.requests;
             stats.errors += totals.errors;
+            stats.degraded_connections += totals.degraded_connections;
         }
         Ok(stats)
     }
@@ -279,7 +371,13 @@ fn shed_overloaded(mut stream: TcpStream) {
 }
 
 /// Serves one TCP connection (transport setup + the generic loop).
-fn serve_tcp(registry: &AlgorithmRegistry, config: &ServerConfig, stream: TcpStream) -> ConnStats {
+fn serve_tcp(
+    registry: &AlgorithmRegistry,
+    config: &ServerConfig,
+    tier: AdmissionTier,
+    journal: Option<&Journal>,
+    stream: TcpStream,
+) -> ConnStats {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(config.idle_timeout);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -287,7 +385,7 @@ fn serve_tcp(registry: &AlgorithmRegistry, config: &ServerConfig, stream: TcpStr
         Ok(clone) => clone,
         Err(_) => return ConnStats::default(),
     };
-    serve_connection(registry, config, reader, stream)
+    serve_connection_outcome(registry, config, tier, journal, reader, stream).stats
 }
 
 /// What a handled request tells the connection loop to do next.
@@ -297,22 +395,43 @@ enum Control {
     Shutdown,
 }
 
-/// Serves one connection over any byte stream — the whole session state
-/// machine, independent of TCP (tests drive it with in-memory buffers).
-///
-/// Reads newline-delimited requests from `reader` until EOF, a fatal
-/// I/O error, `close`, an honoured `shutdown`, the idle timeout
-/// (surfaced by the transport as [`FrameError::TimedOut`]), or the
-/// per-connection request cap.
-pub fn serve_connection<R: Read, W: Write>(
+/// One connection's session state: the live cluster plus the durable
+/// name it is attached under (when journaled) and the tier it was
+/// opened on.
+struct ConnSession {
+    cluster: ClusterSession,
+    /// The journal attachment to release when this session ends.
+    name: Option<String>,
+    degraded: bool,
+}
+
+/// Everything a finished connection leaves behind. The chaos harness
+/// compares [`ConnOutcome::session`] against what journal recovery
+/// rebuilds; the server itself only uses [`ConnOutcome::stats`].
+pub struct ConnOutcome {
+    /// The connection's request totals.
+    pub stats: ConnStats,
+    /// The session as it stood when the connection ended.
+    pub session: Option<ClusterSession>,
+    /// The durable name of that session, when it was journaled.
+    pub session_name: Option<String>,
+}
+
+/// Serves one connection over any byte stream, as
+/// [`serve_connection`], with the admission tier and journal explicit
+/// and the final session state returned for inspection.
+pub fn serve_connection_outcome<R: Read, W: Write>(
     registry: &AlgorithmRegistry,
     config: &ServerConfig,
+    tier: AdmissionTier,
+    journal: Option<&Journal>,
     reader: R,
     mut writer: W,
-) -> ConnStats {
+) -> ConnOutcome {
     let mut totals = ConnStats::default();
-    let mut session: Option<ClusterSession> = None;
-    let mut frames = FrameReader::new(BufReader::new(reader), config.max_frame_len);
+    let mut session: Option<ConnSession> = None;
+    let mut frames = FrameReader::new(BufReader::new(reader), config.max_frame_len)
+        .with_frame_deadline(config.frame_deadline);
     loop {
         let line = match frames.next_frame() {
             Ok(Some(line)) => line,
@@ -335,6 +454,17 @@ pub fn serve_connection<R: Read, W: Write>(
                 let _ = write_frame(&mut writer, &reply.render(None));
                 break;
             }
+            Err(FrameError::DeadlineExceeded) => {
+                // The slowloris guard: a frame trickled in for longer
+                // than the deadline. The stream is mid-frame (desynced),
+                // so the connection cannot continue.
+                let reply = Reply::Closed {
+                    reason: "frame deadline exceeded".to_owned(),
+                };
+                // mclint: allow(reply-id) reason="the frame never completed, so no request id exists to echo"
+                let _ = write_frame(&mut writer, &reply.render(None));
+                break;
+            }
             Err(FrameError::Io(_)) => break,
         };
         if line.trim().is_empty() {
@@ -349,7 +479,8 @@ pub fn serve_connection<R: Read, W: Write>(
             let _ = write_frame(&mut writer, &reply.render(None));
             break;
         }
-        let (id, reply, control) = handle_request(registry, config, &mut session, &line);
+        let (id, reply, control) =
+            handle_request(registry, config, tier, journal, &mut session, &line);
         if matches!(reply, Reply::Error { .. }) {
             totals.errors += 1;
         }
@@ -365,14 +496,46 @@ pub fn serve_connection<R: Read, W: Write>(
             }
         }
     }
-    totals
+    // Release the durable name so a reconnecting client can resume it.
+    let (cluster, name) = match session {
+        None => (None, None),
+        Some(s) => (Some(s.cluster), s.name),
+    };
+    if let (Some(journal), Some(name)) = (journal, name.as_deref()) {
+        journal.detach(name);
+    }
+    ConnOutcome {
+        stats: totals,
+        session: cluster,
+        session_name: name,
+    }
+}
+
+/// Serves one connection over any byte stream — the whole session state
+/// machine, independent of TCP (tests drive it with in-memory buffers).
+///
+/// Reads newline-delimited requests from `reader` until EOF, a fatal
+/// I/O error, `close`, an honoured `shutdown`, the idle timeout
+/// (surfaced by the transport as [`FrameError::TimedOut`]), a frame
+/// outliving [`ServerConfig::frame_deadline`], or the per-connection
+/// request cap. Runs the exact tier with no journal; the full-fidelity
+/// entry point is [`serve_connection_outcome`].
+pub fn serve_connection<R: Read, W: Write>(
+    registry: &AlgorithmRegistry,
+    config: &ServerConfig,
+    reader: R,
+    writer: W,
+) -> ConnStats {
+    serve_connection_outcome(registry, config, AdmissionTier::Exact, None, reader, writer).stats
 }
 
 /// Handles one request line against the connection's session.
 fn handle_request(
     registry: &AlgorithmRegistry,
     config: &ServerConfig,
-    session: &mut Option<ClusterSession>,
+    tier: AdmissionTier,
+    journal: Option<&Journal>,
+    session: &mut Option<ConnSession>,
     line: &str,
 ) -> (Option<RequestId>, Reply, Control) {
     let env = match parse_envelope(line) {
@@ -382,12 +545,17 @@ fn handle_request(
     let id = env.id;
     let no_session =
         || Reply::error("no open session on this connection; send `open_session` first".to_owned());
+    let degraded = tier == AdmissionTier::Degraded;
     match env.request {
         Request::Eval(req) => match evaluate_request(registry, &req) {
             Ok(resp) => (id, Reply::Eval(resp), Control::Continue),
             Err(error) => (id, Reply::error(error), Control::Continue),
         },
-        Request::OpenSession { algorithm, m } => {
+        Request::OpenSession {
+            algorithm,
+            m,
+            session: name,
+        } => {
             if m > config.max_session_m {
                 let reply = Reply::error(format!(
                     "`m` must be at most {} on this server",
@@ -395,23 +563,85 @@ fn handle_request(
                 ));
                 return (id, reply, Control::Continue);
             }
-            match registry.open_session(&algorithm, m) {
-                Ok(cluster) => {
-                    let reply = Reply::Session(SessionReply {
-                        algorithm: cluster.name().to_owned(),
-                        m,
-                    });
-                    // Reopening replaces the previous session wholesale.
-                    *session = Some(cluster);
-                    (id, reply, Control::Continue)
+            // Reopening replaces the previous session wholesale (and a
+            // failed reopen leaves no session, so its durable name is
+            // immediately free for other connections).
+            if let Some(old) = session.take() {
+                if let (Some(j), Some(old_name)) = (journal, old.name.as_deref()) {
+                    j.detach(old_name);
                 }
-                Err(e) => (id, Reply::error(e.to_string()), Control::Continue),
             }
+            let opened = match tier {
+                AdmissionTier::Exact => registry.open_session(&algorithm, m),
+                AdmissionTier::Degraded => registry.open_degraded_session(&algorithm, m),
+            };
+            let mut cluster = match opened {
+                Ok(cluster) => cluster,
+                Err(e) => return (id, Reply::error(e.to_string()), Control::Continue),
+            };
+            let mut attached = None;
+            if let (Some(j), Some(name)) = (journal, name) {
+                match j.attach(&name, &algorithm, m) {
+                    Err(e) => return (id, Reply::error(e.to_string()), Control::Continue),
+                    Ok(None) => {}
+                    Ok(Some(image)) => {
+                        // Resume: force-place the journaled rows. The
+                        // replay is bit-identical to having served the
+                        // original commits (restore follows the same
+                        // insertion-order summary discipline).
+                        for (task, k) in image.rows {
+                            if !cluster.restore(task, k) {
+                                j.detach(&name);
+                                let reply = Reply::error(format!(
+                                    "recovered image for session `{name}` is inconsistent; \
+                                     reopen under a fresh name"
+                                ));
+                                return (id, reply, Control::Continue);
+                            }
+                        }
+                    }
+                }
+                attached = Some(name);
+            }
+            let reply = Reply::Session(SessionReply {
+                algorithm: cluster.name().to_owned(),
+                m,
+                degraded,
+            });
+            *session = Some(ConnSession {
+                cluster,
+                name: attached,
+                degraded,
+            });
+            (id, reply, Control::Continue)
         }
-        Request::Admit { task } => match session.as_mut() {
+        Request::Admit { task, op_id } => match session.as_mut() {
             None => (id, no_session(), Control::Continue),
-            Some(cluster) => {
-                if cluster.task_count() >= config.max_session_tasks {
+            Some(conn) => {
+                if let (Some(j), Some(name), Some(op)) =
+                    (journal, conn.name.as_deref(), op_id.as_deref())
+                {
+                    if let Some(done) = j.lookup_applied(name, op) {
+                        // Already applied: replay the recorded verdict
+                        // instead of re-executing (the reply a retry
+                        // after a lost response expects).
+                        let reply = match done.kind {
+                            OpKind::Admit => Reply::Admit(AdmitReply {
+                                admitted: true,
+                                processor: Some(done.processor),
+                                task: done.task,
+                                tasks: done.tasks,
+                                detail: None,
+                                degraded: conn.degraded,
+                            }),
+                            OpKind::Remove => Reply::error(format!(
+                                "op_id `{op}` was already applied to a remove"
+                            )),
+                        };
+                        return (id, reply, Control::Continue);
+                    }
+                }
+                if conn.cluster.task_count() >= config.max_session_tasks {
                     let reply = Reply::error(format!(
                         "session task cap ({}) reached; remove tasks first",
                         config.max_session_tasks
@@ -419,41 +649,76 @@ fn handle_request(
                     return (id, reply, Control::Continue);
                 }
                 let task_id = task.id().0;
-                let reply = match cluster.admit(task) {
-                    Ok(processor) => Reply::Admit(AdmitReply {
-                        admitted: true,
-                        processor: Some(processor),
-                        task: task_id,
-                        tasks: cluster.task_count(),
-                        detail: None,
-                    }),
+                let reply = match conn.cluster.admit(task) {
+                    Ok(processor) => {
+                        let tasks = conn.cluster.task_count();
+                        // Journal (and flush) before replying: a reply
+                        // the client saw is a commit recovery replays.
+                        if let (Some(j), Some(name)) = (journal, conn.name.as_deref()) {
+                            j.committed_admit(name, op_id.as_deref(), &task, processor, tasks);
+                        }
+                        Reply::Admit(AdmitReply {
+                            admitted: true,
+                            processor: Some(processor),
+                            task: task_id,
+                            tasks,
+                            detail: None,
+                            degraded: conn.degraded,
+                        })
+                    }
                     Err(e) => Reply::Admit(AdmitReply {
                         admitted: false,
                         processor: None,
                         task: task_id,
-                        tasks: cluster.task_count(),
+                        tasks: conn.cluster.task_count(),
                         detail: Some(e.to_string()),
+                        degraded: conn.degraded,
                     }),
                 };
                 (id, reply, Control::Continue)
             }
         },
-        Request::Remove { task_id } => match session.as_mut() {
+        Request::Remove { task_id, op_id } => match session.as_mut() {
             None => (id, no_session(), Control::Continue),
-            Some(cluster) => {
-                let processor = cluster.remove(task_id);
+            Some(conn) => {
+                if let (Some(j), Some(name), Some(op)) =
+                    (journal, conn.name.as_deref(), op_id.as_deref())
+                {
+                    if let Some(done) = j.lookup_applied(name, op) {
+                        let reply = match done.kind {
+                            OpKind::Remove => Reply::Remove(RemoveReply {
+                                removed: true,
+                                processor: Some(done.processor),
+                                task: done.task,
+                                tasks: done.tasks,
+                            }),
+                            OpKind::Admit => Reply::error(format!(
+                                "op_id `{op}` was already applied to an admit"
+                            )),
+                        };
+                        return (id, reply, Control::Continue);
+                    }
+                }
+                let processor = conn.cluster.remove(task_id);
+                let tasks = conn.cluster.task_count();
+                if let Some(k) = processor {
+                    if let (Some(j), Some(name)) = (journal, conn.name.as_deref()) {
+                        j.committed_remove(name, op_id.as_deref(), task_id, k, tasks);
+                    }
+                }
                 let reply = Reply::Remove(RemoveReply {
                     removed: processor.is_some(),
                     processor,
                     task: task_id.0,
-                    tasks: cluster.task_count(),
+                    tasks,
                 });
                 (id, reply, Control::Continue)
             }
         },
         Request::Query { probe } => match session.as_mut() {
             None => (id, no_session(), Control::Continue),
-            Some(cluster) => {
+            Some(conn) => {
+                let cluster = &mut conn.cluster;
                 let probe = probe.map(|task| {
                     let processor = cluster.probe(&task);
                     ProbeReply {
@@ -471,6 +736,7 @@ fn handle_request(
                         .map(|proc| proc.into_iter().map(|t| t.0).collect())
                         .collect(),
                     probe,
+                    degraded: conn.degraded,
                 });
                 (id, reply, Control::Continue)
             }
@@ -702,6 +968,155 @@ mod tests {
         assert!(stats.shutdown_requested);
         assert_eq!(replies.len(), 1, "connection ends at shutdown");
         assert!(matches!(&replies[0].1, Reply::Closed { reason } if reason == "server shutdown"));
+    }
+
+    #[test]
+    fn degraded_tier_tags_replies_and_rejects_unproven_admits() {
+        let registry = AlgorithmRegistry::standard();
+        let input = concat!(
+            r#"{"type": "open_session", "algorithm": "CU-UDP-ECDF", "m": 2}"#,
+            "\n",
+            r#"{"type": "admit", "task": {"id": 0, "period": 100, "wcet_lo": 1}}"#,
+            "\n",
+            r#"{"type": "admit", "task": {"id": 1, "period": 10, "criticality": "HI", "wcet_lo": 2, "wcet_hi": 4}}"#,
+            "\n",
+            r#"{"type": "query"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let outcome = serve_connection_outcome(
+            &registry,
+            &config(),
+            AdmissionTier::Degraded,
+            None,
+            input.as_bytes(),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        let replies: Vec<_> = text
+            .lines()
+            .map(|l| parse_reply(l).unwrap_or_else(|e| panic!("{l}: {e}")).1)
+            .collect();
+        match &replies[0] {
+            Reply::Session(s) => assert!(s.degraded, "session reply carries the tier"),
+            other => panic!("expected session, got {other:?}"),
+        }
+        match &replies[1] {
+            Reply::Admit(a) => {
+                assert!(a.admitted, "a light LC task passes the sufficient rule");
+                assert!(a.degraded);
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match &replies[2] {
+            Reply::Admit(a) => {
+                assert!(
+                    !a.admitted,
+                    "the LC-only rule cannot prove an HC admit — unproven, not committed"
+                );
+                assert!(a.degraded, "the reject is tagged so clients retry exact");
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match &replies[3] {
+            Reply::Query(q) => {
+                assert_eq!(q.tasks, 1, "only the proven admit was committed");
+                assert!(q.degraded);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        assert_eq!(
+            outcome.session.map(|s| s.task_count()),
+            Some(1),
+            "the live cluster agrees with the wire"
+        );
+    }
+
+    #[test]
+    fn named_sessions_are_exclusive_while_attached() {
+        let path = std::env::temp_dir().join(format!("mcexp-busy-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path).unwrap();
+        let registry = AlgorithmRegistry::standard();
+        let open = concat!(
+            r#"{"type": "open_session", "algorithm": "CU-UDP-EY", "m": 2, "session": "dup"}"#,
+            "\n",
+        );
+
+        // First claimant holds the name for the whole connection…
+        assert_eq!(journal.attach("dup", "CU-UDP-EY", 2), Ok(None));
+        let mut out = Vec::new();
+        serve_connection_outcome(
+            &registry,
+            &config(),
+            AdmissionTier::Exact,
+            Some(&journal),
+            open.as_bytes(),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("\"type\":\"error\""),
+            "second claimant is refused while the name is live: {text}"
+        );
+
+        // …and once released, the name is reusable.
+        journal.detach("dup");
+        let mut out = Vec::new();
+        let outcome = serve_connection_outcome(
+            &registry,
+            &config(),
+            AdmissionTier::Exact,
+            Some(&journal),
+            open.as_bytes(),
+            &mut out,
+        );
+        assert!(outcome.session.is_some(), "attach succeeds after detach");
+        assert_eq!(outcome.session_name.as_deref(), Some("dup"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn op_id_replay_on_a_live_session_is_idempotent() {
+        let path = std::env::temp_dir().join(format!("mcexp-opid-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path).unwrap();
+        let registry = AlgorithmRegistry::standard();
+        let admit =
+            r#"{"type": "admit", "op_id": "a1", "task": {"id": 7, "period": 10, "wcet_lo": 1}}"#;
+        let input = format!(
+            "{}\n{admit}\n{admit}\n{}\n",
+            r#"{"type": "open_session", "algorithm": "CU-UDP-EDF-VD", "m": 2, "session": "ses"}"#,
+            r#"{"type": "query"}"#,
+        );
+        let mut out = Vec::new();
+        serve_connection_outcome(
+            &registry,
+            &config(),
+            AdmissionTier::Exact,
+            Some(&journal),
+            input.as_bytes(),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        let replies: Vec<_> = text
+            .lines()
+            .map(|l| parse_reply(l).unwrap_or_else(|e| panic!("{l}: {e}")).1)
+            .collect();
+        let (Reply::Admit(first), Reply::Admit(second)) = (&replies[1], &replies[2]) else {
+            panic!("expected two admit replies: {text}");
+        };
+        assert!(first.admitted && second.admitted);
+        assert_eq!(first.tasks, 1);
+        assert_eq!(
+            second.tasks, 1,
+            "the duplicate op_id replays the recorded verdict, not a second commit"
+        );
+        match &replies[3] {
+            Reply::Query(q) => assert_eq!(q.tasks, 1, "exactly one commit happened"),
+            other => panic!("expected query, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

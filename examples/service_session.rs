@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Request::OpenSession {
             algorithm: "CU-UDP-ECDF".to_owned(),
             m: 2,
+            session: None,
         },
     )?;
     for task in [
@@ -62,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Task::lo(1, 20, 6)?,
         Task::hi(2, 40, 8, 16)?,
     ] {
-        let reply = ask(&mut stream, &mut replies, Request::Admit { task })?;
+        let reply = ask(
+            &mut stream,
+            &mut replies,
+            Request::Admit { task, op_id: None },
+        )?;
         if let Reply::Admit(verdict) = reply {
             match verdict.processor {
                 Some(p) => println!("   task {} placed on processor {p}", verdict.task),
@@ -84,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ask(
         &mut stream,
         &mut replies,
-        Request::Remove { task_id: TaskId(0) },
+        Request::Remove {
+            task_id: TaskId(0),
+            op_id: None,
+        },
     )?;
     ask(&mut stream, &mut replies, Request::Query { probe: None })?;
     ask(&mut stream, &mut replies, Request::Close)?;

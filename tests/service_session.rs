@@ -124,12 +124,19 @@ fn randomized_sessions_match_the_clone_and_retest_oracle() {
             Request::OpenSession {
                 algorithm: algorithm.to_owned(),
                 m,
+                session: None,
             },
         );
         for (i, op) in ops.iter().enumerate() {
             let request = match op {
-                Op::Admit(task) => Request::Admit { task: *task },
-                Op::Remove(id) => Request::Remove { task_id: *id },
+                Op::Admit(task) => Request::Admit {
+                    task: *task,
+                    op_id: None,
+                },
+                Op::Remove(id) => Request::Remove {
+                    task_id: *id,
+                    op_id: None,
+                },
                 Op::Query(probe) => Request::Query { probe: *probe },
             };
             send(1 + i as u64, request);
@@ -215,9 +222,22 @@ fn protocol_envelopes_round_trip_and_legacy_eval_parses() {
         Request::OpenSession {
             algorithm: "CA-UDP-EY".to_owned(),
             m: 4,
+            session: None,
         },
-        Request::Admit { task },
-        Request::Remove { task_id: TaskId(3) },
+        Request::OpenSession {
+            algorithm: "CA-UDP-EY".to_owned(),
+            m: 4,
+            session: Some("durable-1".to_owned()),
+        },
+        Request::Admit { task, op_id: None },
+        Request::Admit {
+            task,
+            op_id: Some("op-1".to_owned()),
+        },
+        Request::Remove {
+            task_id: TaskId(3),
+            op_id: None,
+        },
         Request::Query { probe: Some(task) },
         Request::Query { probe: None },
         Request::Close,

@@ -1,0 +1,456 @@
+//! Seeded, deterministic fault injection for chaos testing.
+//!
+//! [`FaultyReader`] / [`FaultyWriter`] wrap any `Read` / `Write` and
+//! consult a [`FaultPlan`] — a tiny splitmix/xorshift PRNG plus a
+//! [`FaultConfig`] of per-mille probabilities — before every operation.
+//! The same seed always produces the same fault schedule, so a failing
+//! chaos run is replayable bit-for-bit.
+//!
+//! Injected faults model what production traffic does to a framed TCP
+//! service:
+//!
+//! | fault | reader | writer |
+//! |---|---|---|
+//! | short op | returns at most 1 byte (torn frame) | writes a 1-byte prefix (partial write) |
+//! | delay | sleeps before the read | sleeps before the write |
+//! | disconnect | `ConnectionReset`, then EOF | `BrokenPipe`, forever |
+//! | corruption | flips one delivered byte (budgeted) | flips one outgoing byte (budgeted) |
+//!
+//! Nothing on the production path constructs these wrappers; the
+//! zero-fault default config also never rolls the PRNG, so even a
+//! wrapped stream with `FaultConfig::default()` behaves identically to
+//! the bare stream.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Per-operation fault probabilities, in per-mille (0–1000).
+///
+/// The default is all-zero: a plan built from it injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Chance that an operation drops the connection mid-stream
+    /// (reader: `ConnectionReset` once, then EOF; writer: `BrokenPipe`
+    /// forever — a torn frame if bytes were already written).
+    pub disconnect_per_mille: u16,
+    /// Chance that an operation is truncated to one byte (short read /
+    /// partial write).
+    pub short_per_mille: u16,
+    /// Chance that one byte of the transferred data is corrupted
+    /// (bounded overall by [`max_corrupt_bytes`](Self::max_corrupt_bytes)).
+    pub corrupt_per_mille: u16,
+    /// Chance that the operation is delayed by [`delay`](Self::delay).
+    pub delay_per_mille: u16,
+    /// The injected delay.
+    pub delay: Duration,
+    /// Hard cap on corrupted bytes per plan (and per fork).
+    pub max_corrupt_bytes: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            disconnect_per_mille: 0,
+            short_per_mille: 0,
+            corrupt_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            max_corrupt_bytes: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A moderately hostile profile: frequent torn frames and short
+    /// writes, occasional corruption and sub-millisecond delays, rare
+    /// disconnects. The chaos harness's default.
+    pub fn chaotic() -> Self {
+        FaultConfig {
+            disconnect_per_mille: 8,
+            short_per_mille: 200,
+            corrupt_per_mille: 25,
+            delay_per_mille: 10,
+            delay: Duration::from_micros(200),
+            max_corrupt_bytes: 16,
+        }
+    }
+}
+
+/// Counters of faults actually injected (for chaos reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Disconnects injected.
+    pub disconnects: u64,
+    /// Short reads/writes injected.
+    pub shorts: u64,
+    /// Bytes corrupted.
+    pub corrupted_bytes: u64,
+    /// Delays injected.
+    pub delays: u64,
+}
+
+impl FaultStats {
+    /// Componentwise sum (for aggregating reader + writer lanes).
+    pub fn merged(self, other: FaultStats) -> FaultStats {
+        FaultStats {
+            disconnects: self.disconnects + other.disconnects,
+            shorts: self.shorts + other.shorts,
+            corrupted_bytes: self.corrupted_bytes + other.corrupted_bytes,
+            delays: self.delays + other.delays,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Same seed + same config + same operation sequence ⇒ same faults.
+/// [`fork`](FaultPlan::fork) derives independent deterministic lanes
+/// (e.g. one for the read side, one for the write side of a
+/// connection) so the two sides do not perturb each other's streams.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    config: FaultConfig,
+    stats: FaultStats,
+    corrupt_left: usize,
+}
+
+impl FaultPlan {
+    /// A plan rolling the given fault profile under `seed`.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        let corrupt_left = config.max_corrupt_bytes;
+        FaultPlan {
+            // splitmix spreads adjacent seeds; |1 keeps xorshift alive.
+            state: splitmix64(seed) | 1,
+            config,
+            stats: FaultStats::default(),
+            corrupt_left,
+        }
+    }
+
+    /// Derives an independent deterministic sub-plan for `lane`.
+    pub fn fork(&self, lane: u64) -> FaultPlan {
+        FaultPlan::new(
+            splitmix64(self.state ^ lane.wrapping_mul(0xA076_1D64_78BD_642F)),
+            self.config.clone(),
+        )
+    }
+
+    /// Faults injected so far by this plan.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, fast, deterministic.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Rolls one per-mille probability. A zero probability never
+    /// advances the PRNG, so an all-zero config is schedule-transparent.
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    fn hit_delay(&mut self) -> Option<Duration> {
+        let p = self.config.delay_per_mille;
+        if self.roll(p) {
+            self.stats.delays += 1;
+            Some(self.config.delay)
+        } else {
+            None
+        }
+    }
+
+    fn hit_disconnect(&mut self) -> bool {
+        let p = self.config.disconnect_per_mille;
+        let hit = self.roll(p);
+        if hit {
+            self.stats.disconnects += 1;
+        }
+        hit
+    }
+
+    fn hit_short(&mut self) -> bool {
+        let p = self.config.short_per_mille;
+        let hit = self.roll(p);
+        if hit {
+            self.stats.shorts += 1;
+        }
+        hit
+    }
+
+    /// Maybe flips one byte of `data`, within the corruption budget.
+    fn maybe_corrupt(&mut self, data: &mut [u8]) {
+        let p = self.config.corrupt_per_mille;
+        if data.is_empty() || self.corrupt_left == 0 || !self.roll(p) {
+            return;
+        }
+        let idx = (self.next_u64() as usize) % data.len();
+        // `|1` guarantees the XOR mask is non-zero: the byte changes.
+        let mask = (self.next_u64() as u8) | 1;
+        data[idx] ^= mask;
+        self.corrupt_left -= 1;
+        self.stats.corrupted_bytes += 1;
+    }
+}
+
+/// A `Read` wrapper injecting the plan's faults into the byte stream.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    dead: bool,
+}
+
+impl<R> FaultyReader<R> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        FaultyReader {
+            inner,
+            plan,
+            dead: false,
+        }
+    }
+
+    /// Faults injected so far on this lane.
+    pub fn stats(&self) -> FaultStats {
+        self.plan.stats()
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            // A reset peer reads as EOF from then on.
+            return Ok(0);
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        if let Some(pause) = self.plan.hit_delay() {
+            std::thread::sleep(pause);
+        }
+        if self.plan.hit_disconnect() {
+            self.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected disconnect",
+            ));
+        }
+        let cap = if self.plan.hit_short() { 1 } else { buf.len() };
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.plan.maybe_corrupt(&mut buf[..n]);
+        Ok(n)
+    }
+}
+
+/// A `Write` wrapper injecting the plan's faults into the byte stream.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    dead: bool,
+    scratch: Vec<u8>,
+}
+
+impl<W> FaultyWriter<W> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FaultyWriter {
+            inner,
+            plan,
+            dead: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped writer (e.g. the `Vec<u8>` capturing output).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Faults injected so far on this lane.
+    pub fn stats(&self) -> FaultStats {
+        self.plan.stats()
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected disconnect",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        if let Some(pause) = self.plan.hit_delay() {
+            std::thread::sleep(pause);
+        }
+        if self.plan.hit_disconnect() {
+            // Torn frame: whatever was already written stays written.
+            self.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected disconnect",
+            ));
+        }
+        let cap = if self.plan.hit_short() { 1 } else { buf.len() };
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&buf[..cap]);
+        self.plan.maybe_corrupt(&mut self.scratch);
+        self.inner.write(&self.scratch)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected disconnect",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hostile() -> FaultConfig {
+        FaultConfig {
+            disconnect_per_mille: 50,
+            short_per_mille: 300,
+            corrupt_per_mille: 100,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            max_corrupt_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn zero_config_is_transparent() {
+        let data = b"hello world, nothing to see".to_vec();
+        let mut r = FaultyReader::new(&data[..], FaultPlan::new(7, FaultConfig::default()));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.stats(), FaultStats::default());
+
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::new(7, FaultConfig::default()));
+        w.write_all(&data).unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.get_ref(), &data);
+        assert_eq!(w.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let run = |seed: u64| {
+            let mut r = FaultyReader::new(&data[..], FaultPlan::new(seed, hostile()));
+            let mut out = Vec::new();
+            let mut chunk = [0u8; 33];
+            loop {
+                match r.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => out.extend_from_slice(&chunk[..n]),
+                    Err(_) => break,
+                }
+            }
+            (out, r.stats())
+        };
+        let (a, sa) = run(42);
+        let (b, sb) = run(42);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = run(43);
+        assert_ne!(a, c, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn forked_lanes_are_independent_and_deterministic() {
+        let plan = FaultPlan::new(99, hostile());
+        let r1 = plan.fork(1);
+        let r2 = plan.fork(1);
+        let w = plan.fork(2);
+        // Same lane forks agree; different lanes diverge.
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        assert_ne!(format!("{r1:?}"), format!("{w:?}"));
+    }
+
+    #[test]
+    fn reader_disconnect_is_reset_then_eof() {
+        let config = FaultConfig {
+            disconnect_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let data = b"doomed".to_vec();
+        let mut r = FaultyReader::new(&data[..], FaultPlan::new(1, config));
+        let mut buf = [0u8; 8];
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "dead lane reads as EOF");
+        assert_eq!(r.stats().disconnects, 1);
+    }
+
+    #[test]
+    fn writer_disconnect_tears_frames() {
+        let config = FaultConfig {
+            short_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::new(5, config));
+        // Every write is truncated to one byte: write_all loops, so the
+        // payload still lands, one byte at a time.
+        w.write_all(b"abc").unwrap();
+        assert_eq!(w.get_ref(), b"abc");
+        assert!(w.stats().shorts >= 3);
+
+        let config = FaultConfig {
+            disconnect_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::new(5, config));
+        assert_eq!(
+            w.write(b"abc").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(
+            w.write(b"abc").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe,
+            "dead lane stays dead"
+        );
+    }
+
+    #[test]
+    fn corruption_respects_the_budget_and_always_flips() {
+        let config = FaultConfig {
+            corrupt_per_mille: 1000,
+            max_corrupt_bytes: 3,
+            ..FaultConfig::default()
+        };
+        let data = vec![0u8; 1024];
+        let mut r = FaultyReader::new(&data[..], FaultPlan::new(11, config));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let flipped = out.iter().filter(|&&b| b != 0).count();
+        assert_eq!(flipped, 3, "budget caps corruption, every hit flips");
+        assert_eq!(r.stats().corrupted_bytes, 3);
+    }
+}

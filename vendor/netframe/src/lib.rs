@@ -18,9 +18,16 @@
 //! * **shutdown** — [`ShutdownFlag`] is a shared trip-once flag, and
 //!   [`wake`] nudges a listener blocked in `accept` by making a
 //!   throwaway local connection.
+//! * **fault injection** — the [`fault`] module wraps any
+//!   `Read`/`Write` pair in a seeded, deterministic fault schedule
+//!   (torn frames, short reads/writes, delays, disconnects, bounded
+//!   corruption) for chaos testing. Nothing on the production path
+//!   constructs the wrappers, so the cost there is zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod fault;
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -28,7 +35,7 @@ use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How reading one frame failed.
 #[derive(Debug)]
@@ -43,6 +50,11 @@ pub enum FrameError {
     /// The underlying reader timed out before a full frame arrived
     /// (`WouldBlock` / `TimedOut`) — the idle-reaping signal.
     TimedOut,
+    /// A partially received frame took longer than the configured
+    /// per-frame deadline to complete — the slow-trickle (slowloris)
+    /// signal. The stream is mid-frame and cannot be resynced; the
+    /// connection should be closed.
+    DeadlineExceeded,
     /// Any other I/O failure; the connection is unusable.
     Io(io::Error),
 }
@@ -54,6 +66,9 @@ impl fmt::Display for FrameError {
                 write!(f, "frame exceeds the {max}-byte limit")
             }
             FrameError::TimedOut => write!(f, "timed out waiting for a frame"),
+            FrameError::DeadlineExceeded => {
+                write!(f, "frame did not complete within the per-frame deadline")
+            }
             FrameError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -93,6 +108,7 @@ pub struct FrameReader<R> {
     inner: R,
     max_len: usize,
     buf: Vec<u8>,
+    frame_deadline: Option<Duration>,
 }
 
 impl<R: BufRead> FrameReader<R> {
@@ -102,7 +118,20 @@ impl<R: BufRead> FrameReader<R> {
             inner,
             max_len,
             buf: Vec::new(),
+            frame_deadline: None,
         }
+    }
+
+    /// Caps how long one frame may take to arrive *once its first byte
+    /// has been read*. Without it, a peer trickling one byte per
+    /// read-timeout window keeps a half-finished frame (and the
+    /// connection) alive forever — the slowloris pattern. The clock
+    /// starts at the first buffered byte of each frame, so a
+    /// legitimately idle connection is governed solely by the reader's
+    /// read timeout. `None` (the default) disables the check.
+    pub fn with_frame_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.frame_deadline = deadline;
+        self
     }
 
     /// The underlying reader.
@@ -116,13 +145,28 @@ impl<R: BufRead> FrameReader<R> {
     ///
     /// [`FrameError::Oversized`] when a frame exceeds the cap (the
     /// offending frame is skipped, the stream stays readable),
-    /// [`FrameError::TimedOut`] when the reader's timeout elapsed, and
-    /// [`FrameError::Io`] for anything fatal. A frame cut off by EOF
-    /// before its newline is returned as a final frame.
+    /// [`FrameError::TimedOut`] when the reader's timeout elapsed,
+    /// [`FrameError::DeadlineExceeded`] when a partially received frame
+    /// outlives the configured per-frame deadline (fatal: the stream is
+    /// mid-frame), and [`FrameError::Io`] for anything fatal. A frame
+    /// cut off by EOF before its newline is returned as a final frame.
     pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
         self.buf.clear();
+        // Armed at the first buffered byte of this frame; checked before
+        // each further read so a trickling peer cannot stretch one frame
+        // past the deadline by staying inside the read-timeout window.
+        let mut started: Option<Instant> = None;
         loop {
+            if let (Some(deadline), Some(t0)) = (self.frame_deadline, started) {
+                if t0.elapsed() > deadline {
+                    self.buf.clear();
+                    return Err(FrameError::DeadlineExceeded);
+                }
+            }
             let chunk = self.inner.fill_buf()?;
+            if started.is_none() && !chunk.is_empty() {
+                started = Some(Instant::now());
+            }
             if chunk.is_empty() {
                 // EOF: whatever accumulated is the (unterminated) last frame.
                 return if self.buf.is_empty() {
@@ -428,6 +472,58 @@ mod tests {
     fn frame_exactly_at_cap_passes() {
         let mut r = FrameReader::new(&b"abcd\n"[..], 4);
         assert_eq!(r.next_frame().unwrap().as_deref(), Some("abcd"));
+    }
+
+    /// Yields the payload one byte per read, sleeping before each byte —
+    /// a cooperative slowloris peer that always stays inside any
+    /// plausible read-timeout window.
+    struct Drip<'a> {
+        data: &'a [u8],
+        pos: usize,
+        pause: Duration,
+    }
+
+    impl io::Read for Drip<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            std::thread::sleep(self.pause);
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_deadline_reaps_a_trickling_frame() {
+        let drip = Drip {
+            data: b"never-terminated frame",
+            pos: 0,
+            pause: Duration::from_millis(5),
+        };
+        let mut r = FrameReader::new(BufReader::with_capacity(1, drip), 64)
+            .with_frame_deadline(Some(Duration::from_millis(1)));
+        match r.next_frame() {
+            Err(FrameError::DeadlineExceeded) => {}
+            other => panic!("expected deadline exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_deadline_spares_prompt_frames() {
+        // The whole frame arrives well within the deadline.
+        let drip = Drip {
+            data: b"ok\nrest",
+            pos: 0,
+            pause: Duration::from_micros(10),
+        };
+        let mut r = FrameReader::new(BufReader::with_capacity(1, drip), 64)
+            .with_frame_deadline(Some(Duration::from_secs(5)));
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("ok"));
+        // EOF tail is still flushed as a final frame.
+        assert_eq!(r.next_frame().unwrap().as_deref(), Some("rest"));
+        assert_eq!(r.next_frame().unwrap(), None);
     }
 
     #[test]
