@@ -1,0 +1,39 @@
+//! Scratch probe (review only): records appended after recovering a
+//! torn-tail journal must survive a second recovery.
+
+use mcsched_exp::journal::Journal;
+use mcsched_model::Task;
+use std::io::Write;
+
+#[test]
+fn records_after_torn_tail_recovery_survive_second_recovery() {
+    let path = std::env::temp_dir().join(format!("mcexp-torn-probe-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Life 1: two committed admits, then a SIGKILL mid-append (torn line).
+    {
+        let j = Journal::create(&path).unwrap();
+        assert_eq!(j.attach("s", "CU-UDP-ECDF", 2).unwrap(), None);
+        j.committed_admit("s", None, &Task::lo(1, 10, 1).unwrap(), 0, 1);
+        j.committed_admit("s", None, &Task::lo(2, 20, 1).unwrap(), 0, 2);
+    }
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"j\":\"admit\",\"s\":\"s\",\"ta").unwrap();
+    }
+
+    // Life 2: recover (sees 2 rows), then commit one more admit.
+    {
+        let j = Journal::recover(&path).unwrap();
+        let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+        assert_eq!(img.rows.len(), 2);
+        j.committed_admit("s", None, &Task::lo(3, 40, 1).unwrap(), 1, 3);
+    }
+
+    // Life 3: the admit committed in life 2 must be recovered.
+    let j = Journal::recover(&path).unwrap();
+    let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+    let ids: Vec<u32> = img.rows.iter().map(|(t, _)| t.id().0).collect();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(ids, vec![1, 2, 3], "life-2 commit lost after second crash");
+}
