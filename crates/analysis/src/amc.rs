@@ -261,6 +261,39 @@ fn dc_fast(a: u64, m1: u64) -> u64 {
     (((a - 1) as u128 * m1 as u128) >> 64) as u64 + 1
 }
 
+/// Exact `⌊a / b⌋` by multiplication, with `m = inv64(b)` precomputed —
+/// the floor-division sibling of [`dc_inv`], used by the demand lanes
+/// (`dbf` job counts are floors, not ceilings).
+///
+/// Correctness: the [`dc_inv`] error argument applied to `n = a` directly
+/// (no `− 1` shift): the truncated high word `est` is `⌊a/b⌋` or
+/// `⌊a/b⌋ − 1`, and `a − est·b ≥ b` detects the low case exactly
+/// (`est·b ≤ a`, so neither the product nor the increment can overflow).
+/// For `b == 1`, `m = u64::MAX` gives `est = a − 1` for `a ≥ 1` and the
+/// fixup lands on `a`.
+#[inline(always)]
+pub(crate) fn df_inv(a: u64, b: u64, m: u64) -> u64 {
+    let est = ((a as u128 * m as u128) >> 64) as u64;
+    est + u64::from(a - est * b >= b)
+}
+
+/// Exact `⌊a/b⌋` in the small-value regime certified by
+/// [`DemandSoa::fast`](crate::workspace::DemandSoa::fast), with
+/// `m1 = ⌊2^64/b⌋ + 1` hoisted by the caller — one widening multiply, no
+/// fixup.
+///
+/// Correctness: exactly the [`dc_fast`] argument without the ceiling
+/// shift: `m1·b − 2^64 = e ∈ (0, b]`, so
+/// `a·m1/2^64 = a/b + a·e/(b·2^64) ∈ [a/b, a/b + a/2^64]`. The demand
+/// certificate guarantees `a·b < 2^64` (both below `2^32`), hence the
+/// excess `a/2^64 < 1/b` cannot carry `⌊a/b⌋` past the next integer,
+/// and the high word is exactly `⌊a/b⌋` (including `a == 0`). Requires
+/// `b ≥ 2` (so `m1` does not wrap).
+#[inline(always)]
+pub(crate) fn df_fast(a: u64, m1: u64) -> u64 {
+    ((a as u128 * m1 as u128) >> 64) as u64
+}
+
 /// Width of one batched fixpoint block: how many consecutive
 /// priority-order positions iterate their response-time fixpoints
 /// simultaneously. Eight keeps the per-sweep slot state (positions,
@@ -2511,6 +2544,79 @@ mod tests {
             check(a, b);
             check(a, b >> (b % 63) as u32 | 1);
             check(a >> (a % 63) as u32, b);
+        }
+    }
+
+    #[test]
+    fn df_inv_is_exact() {
+        // The guarded floor reciprocal must agree with the hardware
+        // divide on every input, like its ceiling sibling above.
+        let edges = [
+            0u64,
+            1,
+            2,
+            3,
+            5,
+            7,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            (1 << 63) - 1,
+            1 << 63,
+            (1 << 63) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let check = |a: u64, b: u64| {
+            let m = crate::workspace::inv64(b);
+            assert_eq!(df_inv(a, b, m), a / b, "df_inv({a}, {b}) diverged");
+        };
+        for &b in &edges[1..] {
+            for &a in &edges {
+                check(a, b);
+                check(a.saturating_add(1), b);
+                check(a.wrapping_sub(1), b);
+                check(a, b.saturating_add(1));
+            }
+        }
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..200_000 {
+            let a = next();
+            let b = next().max(1);
+            check(a, b);
+            check(a, b >> (b % 63) as u32 | 1);
+            check(a >> (a % 63) as u32, b);
+        }
+    }
+
+    #[test]
+    fn df_fast_is_exact_in_the_certified_regime() {
+        // No-fixup floor: exact whenever a·b < 2^64 and b ≥ 2 — in
+        // particular for every a, b < 2^32 (the demand certificate).
+        let mut x = 0x517cc1b727220a95u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..200_000 {
+            let a = next() & ((1 << 32) - 1);
+            let b = (next() & ((1 << 32) - 1)).max(2);
+            let m1 = crate::workspace::inv64(b).wrapping_add(1);
+            assert_eq!(df_fast(a, m1), a / b, "df_fast({a}, {b}) diverged");
+        }
+        // Boundary of the licence: the largest certified operands.
+        let b = (1u64 << 32) - 1;
+        let m1 = crate::workspace::inv64(b).wrapping_add(1);
+        for a in [(1u64 << 32) - 1, (1 << 32) - 2, 1, 0] {
+            assert_eq!(df_fast(a, m1), a / b);
         }
     }
 

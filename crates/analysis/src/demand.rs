@@ -15,11 +15,22 @@
 //!
 //! ## What the kernel caches
 //!
-//! * **Per-task demand steps** ([`TaskDemand`]) — the cached
-//!   `(C^L, C^H, T, V, d = D − V)` terms of the Ekberg–Yi demand bounds,
-//!   so each evaluation is branch-light and the high-mode sum iterates a
-//!   contiguous HC-only index list (one HC-subset copy path, shared by
-//!   every public entry point).
+//! * **SoA demand lanes** ([`DemandSoa`]) — the
+//!   `(C^L, C^H, T, V, d = D − V)` terms of the Ekberg–Yi demand bounds
+//!   as contiguous `u64` lanes plus precomputed `⌊2^64/T⌋` reciprocals,
+//!   so each `Σ dbf` evaluation is a branch-free lane sweep (floor
+//!   division by multiplication, no struct chasing) and the high-mode
+//!   sum iterates a compacted HC-only lane view (one HC-subset copy
+//!   path, shared by every public entry point). When the assignment
+//!   carries the demand fast-kernel certificate (see
+//!   [`DemandSoa::fast`] in [`crate::workspace`]) and a descent starts
+//!   below `2^32`, the sweeps run the `const FAST` route: plain
+//!   arithmetic and no-fixup reciprocal floors, provably equal to the
+//!   guarded saturating route ([`TaskDemand`] remains the scalar
+//!   per-task view used for memo deltas). The batching that pays is
+//!   per *point* — one branch-free pass over all lanes; speculative
+//!   multi-point ladder passes were benchmarked a net loss (see
+//!   [`DemandKernel::descend_fast`]).
 //! * **Violation anchors** — a bounded set of exact `(t, Σ dbf_LO(t))`
 //!   pairs at instants where earlier QPA descents found demand exceeding
 //!   supply. All memo arithmetic is integer ([`mcsched_model::Time`]),
@@ -74,13 +85,16 @@
 //!   violation point is a valid resume start whose descent finds the
 //!   same maximum violation a cold descent would.
 //! * **Anchors are sound unconditionally.** A memo entry with
-//!   `h(t) > t` and `t` inside the current busy window is a genuine
-//!   violation of the *current* assignment (memo values are exact), so
-//!   the boolean fast path [`lo_feasible`](DemandKernel::lo_feasible)
-//!   may answer "infeasible" without any descent — the reference QPA,
-//!   descending from the same bound, provably finds a violation too.
+//!   `h(t) > t` is a genuine violation of the *current* assignment
+//!   (memo values are exact), so the boolean fast path
+//!   [`lo_feasible`](DemandKernel::lo_feasible) may answer
+//!   "infeasible" without any descent — with `U < 1` the reference
+//!   QPA provably finds a violation too, so the booleans agree.
 //!   Anchors are only ever a shortcut to *reject*; `Ok` is always
-//!   decided by a full (memo-assisted, value-exact) descent.
+//!   decided by a full (memo-assisted, value-exact) descent. An anchor
+//!   violation even dispenses with the busy-window bound: the memoised
+//!   `h(t) > t` is a deadline-miss witness outright whenever `U < 1`,
+//!   so the boolean path returns before summing the start bound.
 //!
 //! The one theoretical divergence is the QPA iteration budget
 //! (`QPA_BUDGET` = 100 000): a resumed descent takes a different number
@@ -88,9 +102,11 @@
 //! path but not the other could differ. Typical descents take well under
 //! 100 steps; the equivalence suites pin the corpus empirically.
 
+use crate::amc::{df_fast, df_inv};
 #[cfg(test)]
 use crate::dbf;
 use crate::dbf::{DemandCheck, VdTask, QPA_BUDGET, UTIL_EPS};
+use crate::workspace::DemandSoa;
 use mcsched_model::{Task, TaskSet, Time};
 
 /// Maximum memoised low-mode violation anchors. Recording past this
@@ -103,6 +119,16 @@ const ANCHOR_CAP: usize = 8;
 /// past it is treated as unbounded (typed early-reject) instead of
 /// descending from a saturated horizon.
 const MAX_QPA_START: f64 = (1u64 << 63) as f64;
+
+/// Evaluation instants below this bound are licensed for the `const
+/// FAST` demand sweeps whenever the assignment carries the
+/// [`DemandSoa::fast`] certificate: with every parameter below `2^32`
+/// and `t < 2^32`, every floor operand pair satisfies `(t − V)·T < 2^64`
+/// (no-fixup reciprocal floors are exact) and every lane sum stays
+/// within the certified demand budget (plain arithmetic cannot
+/// overflow). A QPA descent only moves down, so one check at descent
+/// entry covers every instant it visits.
+const CERT_T_LIM: u64 = 1 << 32;
 
 /// Fixpoint-reuse counters: how the kernel answered its QPA queries.
 ///
@@ -251,11 +277,10 @@ impl Anchors {
 pub struct DemandKernel {
     /// The assignment, in task order.
     tasks: Vec<VdTask>,
-    /// Cached demand steps, parallel to `tasks`.
-    steps: Vec<TaskDemand>,
-    /// Indices of the HC tasks, in task order (the single HC-subset
-    /// copy path of the demand stack).
-    hc: Vec<usize>,
+    /// SoA demand lanes parallel to `tasks`, including the compacted
+    /// HC view (the single HC-subset copy path of the demand stack) and
+    /// the reversible fast-kernel certificate.
+    lanes: DemandSoa,
     /// How many tasks currently have `V = T` (the implicit-deadline,
     /// untightened special case of the low-mode check).
     untight_implicit: usize,
@@ -269,7 +294,10 @@ pub struct DemandKernel {
     hi_util: f64,
     /// Exact low-mode demand samples at historical violation points.
     lo_anchors: Anchors,
-    /// Virtual deadlines at the last high-mode QPA, for resume validity.
+    /// HC virtual deadlines (in HC rank order) at the last high-mode
+    /// QPA, for resume validity. LC deadlines are not snapshotted:
+    /// high-mode demand reads only the compacted HC lanes, so LC moves
+    /// cannot perturb the memoised fixpoint.
     hi_snap: Vec<Time>,
     /// Whether `hi_snap` / `hi_prev` describe the current task list.
     hi_snap_valid: bool,
@@ -308,12 +336,19 @@ impl DemandKernel {
         self.counters
     }
 
+    /// Whether the current assignment carries the demand fast-kernel
+    /// certificate (the [`crate::workspace`] module docs state the full
+    /// argument). Observability for the equivalence and scale suites —
+    /// verdicts never depend on which route the certificate selects.
+    pub fn certified(&self) -> bool {
+        self.lanes.fast()
+    }
+
     /// Drops all tasks and memos (counters are kept — they describe the
     /// kernel's lifetime, not one assignment).
     pub fn clear(&mut self) {
         self.tasks.clear();
-        self.steps.clear();
-        self.hc.clear();
+        self.lanes.clear();
         self.untight_implicit = 0;
         self.lo_util = 0.0;
         self.hi_util = 0.0;
@@ -323,20 +358,44 @@ impl DemandKernel {
     }
 
     /// Replaces the contents with `tasks` (memos cleared: samples of a
-    /// different set are meaningless).
+    /// different set are meaningless). The lanes are rebuilt in one
+    /// fused pass; the bookkeeping sums accumulate in insertion order,
+    /// exactly as a sequence of [`push_task`](Self::push_task)es would.
     pub fn load(&mut self, tasks: &[VdTask]) {
         self.clear();
-        for vt in tasks {
-            self.push_task(*vt);
-        }
+        self.tasks.extend_from_slice(tasks);
+        self.rebuild_caches();
     }
 
     /// Replaces the contents with the untightened assignment of `ts`.
     pub fn load_untightened(&mut self, ts: &TaskSet) {
         self.clear();
-        for t in ts.iter() {
-            self.push_task(VdTask::untightened(*t));
+        self.tasks
+            .extend(ts.iter().map(|t| VdTask::untightened(*t)));
+        self.rebuild_caches();
+    }
+
+    /// Rebuilds the lanes (one fused pass) and the bookkeeping sums
+    /// from `self.tasks`. The utilization sums accumulate in insertion
+    /// order — exactly what a sequence of
+    /// [`push_task`](Self::push_task)es would produce, hence
+    /// bit-identical to the seed's fresh left-to-right summation.
+    fn rebuild_caches(&mut self) {
+        self.lanes.load(&self.tasks);
+        let mut lo_util = 0.0;
+        let mut hi_util = 0.0;
+        let mut untight = 0usize;
+        for vt in &self.tasks {
+            let task = &vt.task;
+            lo_util += task.wcet_lo().as_f64() / task.period().as_f64();
+            if task.criticality().is_high() {
+                hi_util += task.wcet_hi().as_f64() / task.period().as_f64();
+            }
+            untight += usize::from(vt.vd == task.period());
         }
+        self.lo_util = lo_util;
+        self.hi_util = hi_util;
+        self.untight_implicit = untight;
     }
 
     /// Appends a task, delta-updating every memoised demand sample by
@@ -351,13 +410,12 @@ impl DemandKernel {
         self.lo_util += step.c_lo.as_f64() / step.period.as_f64();
         if step.hi {
             self.hi_util += step.c_hi.as_f64() / step.period.as_f64();
-            self.hc.push(self.tasks.len());
         }
         if vt.vd == vt.task.period() {
             self.untight_implicit += 1;
         }
+        self.lanes.push(&vt);
         self.tasks.push(vt);
-        self.steps.push(step);
         // The task list changed: the high-mode snapshot no longer
         // describes it (demand grew, so resume would be unsound anyway).
         self.hi_snap_valid = false;
@@ -374,24 +432,27 @@ impl DemandKernel {
     /// Panics if the kernel is empty.
     pub fn pop_task(&mut self) -> VdTask {
         let vt = self.tasks.pop().expect("pop_task on an empty kernel");
-        let step = self.steps.pop().expect("steps parallel to tasks");
+        let step = TaskDemand::new(&vt);
+        self.lanes.pop();
         for e in &mut self.lo_anchors.entries {
             e.1 -= step.lo_at(e.0);
         }
         // Re-derive both utilization caches with insertion-order loops:
         // a compensated `-=` would drift from the push-path `+=`, and the
-        // summation order must match a fresh build bit-for-bit.
-        self.lo_util = 0.0;
-        for s in &self.steps {
-            self.lo_util += s.c_lo.as_f64() / s.period.as_f64();
-        }
-        if step.hi {
-            self.hc.pop();
-            self.hi_util = 0.0;
-            for &i in &self.hc {
-                self.hi_util += self.steps[i].c_hi.as_f64() / self.steps[i].period.as_f64();
+        // summation order must match a fresh build bit-for-bit (a fresh
+        // left-to-right resum replays exactly the additions the running
+        // value accumulated).
+        let mut lo_util = 0.0;
+        let mut hi_util = 0.0;
+        for rest in &self.tasks {
+            let task = &rest.task;
+            lo_util += task.wcet_lo().as_f64() / task.period().as_f64();
+            if task.criticality().is_high() {
+                hi_util += task.wcet_hi().as_f64() / task.period().as_f64();
             }
         }
+        self.lo_util = lo_util;
+        self.hi_util = hi_util;
         if vt.vd == vt.task.period() {
             self.untight_implicit -= 1;
         }
@@ -414,10 +475,17 @@ impl DemandKernel {
             return;
         }
         let task = self.tasks[idx].task;
-        let old_step = self.steps[idx];
-        let new_step = TaskDemand::new(&VdTask { task, vd });
+        let (cl, per, inv) = (
+            self.lanes.c_lo[idx],
+            self.lanes.period[idx],
+            self.lanes.inv_period[idx],
+        );
+        let (vo, vn) = (old.as_ticks(), vd.as_ticks());
         for e in &mut self.lo_anchors.entries {
-            e.1 = e.1 - old_step.lo_at(e.0) + new_step.lo_at(e.0);
+            let t = e.0.as_ticks();
+            e.1 = Time::new(
+                e.1.as_ticks() - lo_at_lane(cl, vo, per, inv, t) + lo_at_lane(cl, vn, per, inv, t),
+            );
         }
         if old == task.period() {
             self.untight_implicit -= 1;
@@ -426,7 +494,8 @@ impl DemandKernel {
             self.untight_implicit += 1;
         }
         self.tasks[idx].vd = vd;
-        self.steps[idx] = new_step;
+        self.lanes
+            .set_vd(idx, vn, (task.deadline() - vd).as_ticks());
         // The high-mode snapshot stays: resume validity is decided at
         // check time by comparing against it (net tightening resumes).
     }
@@ -442,21 +511,90 @@ impl DemandKernel {
 
     /// Total low-mode demand at `t` (exact, clamped at `Time::MAX` like
     /// [`crate::dbf::total_dbf_lo`] so the two stay bit-identical).
+    /// Routes to the certified `const FAST` lane sweep when licensed
+    /// (plain arithmetic, provably equal to the guarded route — see the
+    /// module docs and [`DemandSoa::fast`]).
     #[inline]
     fn eval_lo(&self, t: Time) -> Time {
-        self.steps
-            .iter()
-            .map(|s| s.lo_at(t))
-            .fold(Time::ZERO, Time::saturating_add)
+        let tt = t.as_ticks();
+        if self.lanes.fast() && tt < CERT_T_LIM {
+            Time::new(self.lo_block::<true>(tt))
+        } else {
+            Time::new(self.lo_block::<false>(tt))
+        }
     }
 
-    /// Total high-mode demand at `t` (exact, clamped at `Time::MAX`).
+    /// Total high-mode demand at `t` (exact, clamped at `Time::MAX`),
+    /// routed like [`eval_lo`](Self::eval_lo).
     #[inline]
     fn eval_hi(&self, t: Time) -> Time {
-        self.hc
+        let tt = t.as_ticks();
+        if self.lanes.fast() && tt < CERT_T_LIM {
+            Time::new(self.hi_block::<true>(tt))
+        } else {
+            Time::new(self.hi_block::<false>(tt))
+        }
+    }
+
+    /// One `Σ dbf_LO(t)` lane sweep. The `FAST` monomorphisation uses
+    /// plain arithmetic and no-fixup reciprocal floors — licensed only
+    /// by the demand certificate plus `t < 2^32` (see [`CERT_T_LIM`]);
+    /// the guarded route keeps the saturating forms and the exact
+    /// [`df_inv`] floor, bit-identical to the seed's per-task
+    /// [`crate::dbf::dbf_lo`] fold.
+    fn lo_block<const FAST: bool>(&self, t: u64) -> u64 {
+        let l = &self.lanes;
+        let mut acc = 0u64;
+        let lanes = l.vd.iter().zip(&l.period).zip(&l.inv_period).zip(&l.c_lo);
+        for (((&vd, &per), &inv), &cl) in lanes {
+            let rel = t.saturating_sub(vd);
+            if FAST {
+                let jobs = df_fast(rel, inv.wrapping_add(1)) + 1;
+                acc += cl * jobs * u64::from(t >= vd);
+            } else {
+                let term = if t >= vd {
+                    cl.saturating_mul(df_inv(rel, per, inv).saturating_add(1))
+                } else {
+                    0
+                };
+                acc = acc.saturating_add(term);
+            }
+        }
+        acc
+    }
+
+    /// One `Σ dbf_HI(t)` sweep over the compacted HC lanes, routed like
+    /// [`lo_block`](Self::lo_block). The `FAST` arm's plain
+    /// `C^H·k − done` cannot underflow: `done ≤ C^L ≤ C^H ≤ C^H·k`
+    /// (masked-out lanes compute `C^H − C^L ≥ 0`).
+    fn hi_block<const FAST: bool>(&self, t: u64) -> u64 {
+        let l = &self.lanes;
+        let mut acc = 0u64;
+        let lanes = l
+            .hc_dist
             .iter()
-            .map(|&i| self.steps[i].hi_at(t))
-            .fold(Time::ZERO, Time::saturating_add)
+            .zip(&l.hc_period)
+            .zip(&l.hc_inv_period)
+            .zip(&l.hc_c_lo)
+            .zip(&l.hc_c_hi);
+        for ((((&d, &per), &inv), &cl), &ch) in lanes {
+            let rel = t.saturating_sub(d);
+            if FAST {
+                let q = df_fast(rel, inv.wrapping_add(1));
+                let done = cl.saturating_sub(rel - q * per);
+                acc += (ch * (q + 1) - done) * u64::from(t >= d);
+            } else {
+                let term = if t >= d {
+                    let k = df_inv(rel, per, inv).saturating_add(1);
+                    let done = cl.saturating_sub(rel % per);
+                    ch.saturating_mul(k).saturating_sub(done)
+                } else {
+                    0
+                };
+                acc = acc.saturating_add(term);
+            }
+        }
+        acc
     }
 
     /// The exact low-mode check — bit-identical to
@@ -496,26 +634,30 @@ impl DemandKernel {
         if all_implicit_untightened {
             return DemandCheck::Ok;
         }
-        // Insertion-order sum (verdict-bearing QPA start bound).
+        if !exact {
+            // Anchor fast path: the anchors hold *exact* demand samples
+            // of the current assignment (delta-maintained through every
+            // mutation), so a memoised `h(t) > t` is a deadline-miss
+            // witness outright — with `U < 1` the reference descent
+            // cannot answer `Ok` while one exists (QPA finds some
+            // violation whenever any instant violates). No start bound
+            // is needed to answer the boolean question.
+            if let Some(t) = self.lo_anchors.violation() {
+                self.counters.anchor_hits += 1;
+                return DemandCheck::Violation(t);
+            }
+        }
+        // Insertion-order sum (verdict-bearing QPA start bound). The
+        // per-task utilization comes from the cached lane — the exact
+        // quotient the seed recomputes, so the sum is bit-identical.
         let mut k: f64 = 0.0;
-        for s in &self.steps {
-            let u = s.c_lo.as_f64() / s.period.as_f64();
-            k += u * (s.period - s.vd.min(s.period)).as_f64();
+        for (vt, &u) in self.tasks.iter().zip(self.lanes.u_lo.iter()) {
+            let per = vt.task.period();
+            k += u * (per - vt.vd.min(per)).as_f64();
         }
         let Some(bound) = qpa_start(k, util) else {
             return DemandCheck::Unbounded;
         };
-        if !exact {
-            // Anchor fast path: an exact memoised violation inside the
-            // busy window proves infeasibility (the reference descent
-            // from the same bound cannot miss it).
-            if let Some(t) = self.lo_anchors.violation() {
-                if t <= Time::new(bound) {
-                    self.counters.anchor_hits += 1;
-                    return DemandCheck::Violation(t);
-                }
-            }
-        }
         self.counters.cold += 1;
         let result = self.qpa(bound, Mode::Lo);
         if let DemandCheck::Violation(t) = result {
@@ -527,10 +669,11 @@ impl DemandKernel {
     /// The exact high-mode check — bit-identical to
     /// [`crate::dbf::reference::check_hi_mode`] on the current assignment, with
     /// the QPA stage warm-resumed from the previous fixpoint whenever
-    /// every virtual deadline moved only down (demand only tightened)
-    /// since the last check.
+    /// every **HC** virtual deadline moved only down (high-mode demand
+    /// only tightened) since the last check — LC deadlines never enter
+    /// the high-mode demand, so they cannot invalidate the memo.
     pub fn check_hi(&mut self) -> DemandCheck {
-        if self.hc.is_empty() {
+        if self.lanes.hc_len() == 0 {
             return DemandCheck::Ok;
         }
         let util = self.hi_util;
@@ -545,12 +688,13 @@ impl DemandKernel {
             return DemandCheck::Unbounded;
         }
         let resume = self.hi_snap_valid
-            && self.hi_snap.len() == self.tasks.len()
+            && self.hi_snap.len() == self.lanes.hc_len()
             && self
-                .tasks
+                .lanes
+                .hc_pos
                 .iter()
                 .zip(self.hi_snap.iter())
-                .all(|(vt, &snap)| vt.vd <= snap);
+                .all(|(&pos, &snap)| self.lanes.vd[pos] <= snap.as_ticks());
         let result = match (resume, self.hi_prev) {
             (true, Some(DemandCheck::Ok)) => {
                 // Demand only tightened: the previously cleared window
@@ -562,19 +706,16 @@ impl DemandKernel {
             // descent ran, nothing above it was cleared, so it is not a
             // resume point.
             (true, Some(DemandCheck::Violation(t_star))) if !t_star.is_zero() => {
-                // The maximum violation can only have moved down; resume
-                // the descent from the old witness — capped at the
-                // (shrunken) busy-window bound, so a resume is never
-                // slower than the cold descent it replaces.
+                // The maximum violation can only have moved down, and
+                // `h_HI` is monotone non-decreasing in `t` — so a
+                // descent started at the old witness walks the chain to
+                // exactly the new maximum violation (or clears to the
+                // fixpoint) without ever stepping below it. No
+                // busy-window bound recompute is needed: the old
+                // witness already sits under the previous bound and the
+                // window only shrank since.
                 self.counters.resumed += 1;
-                match qpa_start(self.hi_k(), util) {
-                    Some(bound) => self.qpa(bound.min(t_star.as_ticks()), Mode::Hi),
-                    None => {
-                        self.hi_snap_valid = false;
-                        self.hi_prev = None;
-                        return DemandCheck::Unbounded;
-                    }
-                }
+                self.qpa(t_star.as_ticks(), Mode::Hi)
             }
             _ => {
                 self.counters.cold += 1;
@@ -590,7 +731,9 @@ impl DemandKernel {
         };
         self.hi_prev = Some(result);
         self.hi_snap.clear();
-        self.hi_snap.extend(self.tasks.iter().map(|vt| vt.vd));
+        let lanes = &self.lanes;
+        self.hi_snap
+            .extend(lanes.hc_pos.iter().map(|&p| Time::new(lanes.vd[p])));
         self.hi_snap_valid = true;
         result
     }
@@ -598,24 +741,42 @@ impl DemandKernel {
     /// The seed QPA descent ([`crate::dbf::reference`]'s `qpa_check`) with
     /// memo-assisted — but value-exact — demand evaluations.
     fn qpa(&mut self, bound: u64, mode: Mode) -> DemandCheck {
-        if self.eval(mode, Time::ZERO) > Time::ZERO {
+        // `h(0) > 0` is answered by the lanes' exact origin counters
+        // (see [`DemandSoa::h0_lo_positive`]) — no sweep: `h_LO(0)`
+        // sums `C^L` over `vd == 0` positions, `h_HI(0)` sums
+        // `C^H − C^L` over `dist == 0` positions.
+        let h0_positive = match mode {
+            Mode::Lo => self.lanes.h0_lo_positive(),
+            Mode::Hi => self.lanes.h0_hi_positive(),
+        };
+        if h0_positive {
             return DemandCheck::Violation(Time::ZERO);
         }
         if bound == 0 {
             return DemandCheck::Ok;
         }
-        self.descend(Time::new(bound), mode)
+        // A descent only moves down, so `bound < 2^32` certifies every
+        // instant it will visit for the `const FAST` sweeps (the scalar
+        // route still upgrades per evaluation once `t` drops below the
+        // licence, via the `eval_*` dispatch).
+        if self.lanes.fast() && bound < CERT_T_LIM {
+            self.descend_fast(bound, mode)
+        } else {
+            self.descend(Time::new(bound), mode)
+        }
     }
 
     /// The high-mode busy-window numerator
     /// `Σ_HC (C^H + u^H·(T − d))`, in HC order.
     fn hi_k(&self) -> f64 {
-        // Insertion-order sum (verdict-bearing QPA start bound).
+        // Insertion-order sum (verdict-bearing QPA start bound) over the
+        // compacted HC lanes; `C^H` and `C^H/T` come from the cached f64
+        // lanes — the exact values the seed recomputes per call.
+        let lanes = &self.lanes;
         let mut k: f64 = 0.0;
-        for &i in &self.hc {
-            let s = &self.steps[i];
-            let u = s.c_hi.as_f64() / s.period.as_f64();
-            k += s.c_hi.as_f64() + u * (s.period.saturating_sub(s.dist)).as_f64();
+        for i in 0..lanes.hc_len() {
+            let w = Time::new(lanes.hc_period[i].saturating_sub(lanes.hc_dist[i]));
+            k += lanes.hc_ch_f[i] + lanes.hc_u_hi[i] * w.as_f64();
         }
         k
     }
@@ -650,16 +811,103 @@ impl DemandKernel {
         }
     }
 
+    /// The certificate-gated descending fixpoint: same chain, same
+    /// budget, same verdicts as [`descend`](Self::descend) (see the
+    /// module-docs soundness note), with every evaluation routed
+    /// straight to the `const FAST` lane sweep — no per-point licence
+    /// re-check, no enum dispatch through `eval`.
+    ///
+    /// An 8-wide ladder variant (one lane pass evaluating several
+    /// adjacent candidate points, a walker consuming the scalar chain
+    /// through the precomputed slots) was benchmarked here and measured
+    /// a net loss on admission-sized corpora: QPA chains jump coarsely
+    /// often enough that most speculative slots are discarded, and a
+    /// discarded slot costs exactly as much as a consumed one. The
+    /// batching that pays is the lane sweep itself (all tasks per
+    /// point, branch-free); the chain stays one point at a time.
+    ///
+    /// Licence: the caller checked [`DemandSoa::fast`] and
+    /// `start < 2^32`; a descent only moves down.
+    fn descend_fast(&mut self, start: u64, mode: Mode) -> DemandCheck {
+        let mut t = start;
+        for _ in 0..QPA_BUDGET {
+            let d = match mode {
+                Mode::Lo => self.lo_block::<true>(t),
+                Mode::Hi => self.hi_block::<true>(t),
+            };
+            if d > t {
+                return DemandCheck::Violation(Time::new(t));
+            }
+            if d == 0 {
+                return DemandCheck::Ok;
+            }
+            if d < t {
+                t = d;
+            } else {
+                if t == 1 {
+                    return DemandCheck::Ok;
+                }
+                t -= 1;
+            }
+        }
+        DemandCheck::Unbounded
+    }
+
+    /// The positions (task-order indices) of the HC tasks, ascending —
+    /// the tuner's move enumeration walks these instead of filtering
+    /// the full task list per round.
+    #[inline]
+    pub(crate) fn hc_positions(&self) -> &[usize] {
+        &self.lanes.hc_pos
+    }
+
+    /// Exact `(⌊rel/T⌋, rel mod T)` for the loaded task `idx`, the
+    /// floor division taken through the cached lane reciprocal
+    /// ([`df_inv`] is the exact floor for all `u64`, so this is
+    /// bit-identical to `rel.div_floor(T)` / `rel % T`). The tuner's
+    /// move enumeration calls this once per HC task per round instead
+    /// of dividing.
+    pub(crate) fn div_period(&self, idx: usize, rel: Time) -> (u64, Time) {
+        let (per, inv) = (self.lanes.period[idx], self.lanes.inv_period[idx]);
+        let q = df_inv(rel.as_ticks(), per, inv);
+        (q, Time::new(rel.as_ticks() - q.saturating_mul(per)))
+    }
+
+    /// Exact `dbf_HI` of the loaded task `idx` at `t` **as if** its
+    /// virtual deadline were `vd` — [`crate::dbf::dbf_hi`] with the
+    /// floor division routed through the cached lane reciprocal
+    /// (bit-identical; see [`DemandKernel::div_period`]). Candidate
+    /// moves are scored through this without touching the assignment.
+    pub(crate) fn dbf_hi_with(&self, idx: usize, vd: Time, t: Time) -> Time {
+        let task = &self.tasks[idx].task;
+        if task.criticality().is_low() {
+            return Time::ZERO;
+        }
+        let d = task.deadline() - vd;
+        if t < d {
+            return Time::ZERO;
+        }
+        let (q, m) = self.div_period(idx, t - d);
+        let done = task.wcet_lo().saturating_sub(m);
+        task.wcet_hi()
+            .saturating_mul(q.saturating_add(1))
+            .saturating_sub(done)
+    }
+
     /// Certain-overload witness for the low-mode check (`U > 1`):
     /// the seed's busy-window horizon, clamped saturating so extreme
     /// utilizations can no longer overflow `Time` (satellite fix).
     fn horizon_lo(&self, util: f64) -> Time {
         // Insertion-order sum.
         let mut k: f64 = 0.0;
-        for s in &self.steps {
-            k += s.c_lo.as_f64() / s.period.as_f64() * s.vd.as_f64();
+        for vt in &self.tasks {
+            k += vt.task.wcet_lo().as_f64() / vt.task.period().as_f64() * vt.vd.as_f64();
         }
-        let max_v = self.steps.iter().map(|s| s.vd).fold(Time::ZERO, Time::max);
+        let max_v = self
+            .tasks
+            .iter()
+            .map(|vt| vt.vd)
+            .fold(Time::ZERO, Time::max);
         Time::new((k / (util - 1.0)).ceil() as u64)
             .max(max_v)
             .saturating_add(Time::ONE)
@@ -670,16 +918,17 @@ impl DemandKernel {
     fn horizon_hi(&self, util: f64) -> Time {
         // Insertion-order sum.
         let mut k: f64 = 0.0;
-        for &i in &self.hc {
-            let s = &self.steps[i];
-            let u = s.c_hi.as_f64() / s.period.as_f64();
-            k += u * s.dist.as_f64() + s.c_lo.as_f64();
-        }
-        let max_d = self
-            .hc
+        let mut max_d = Time::ZERO;
+        for vt in self
+            .tasks
             .iter()
-            .map(|&i| self.steps[i].dist)
-            .fold(Time::ZERO, Time::max);
+            .filter(|vt| vt.task.criticality().is_high())
+        {
+            let dist = vt.task.deadline() - vt.vd;
+            let u = vt.task.wcet_hi().as_f64() / vt.task.period().as_f64();
+            k += u * dist.as_f64() + vt.task.wcet_lo().as_f64();
+            max_d = max_d.max(dist);
+        }
         Time::new((k / (util - 1.0)).ceil() as u64)
             .max(max_d)
             .saturating_add(Time::ONE)
@@ -691,6 +940,17 @@ impl DemandKernel {
 enum Mode {
     Lo,
     Hi,
+}
+
+/// `dbf_LO` of one task from raw lane values — the per-anchor delta
+/// term of [`DemandKernel::replace_vd`], bit-identical to
+/// [`TaskDemand::lo_at`] ([`df_inv`] is the exact floor for all `u64`,
+/// so the lane reciprocal replaces the hardware division).
+fn lo_at_lane(cl: u64, vd: u64, per: u64, inv: u64, t: u64) -> u64 {
+    if t < vd {
+        return 0;
+    }
+    cl.saturating_mul(df_inv(t - vd, per, inv).saturating_add(1))
 }
 
 /// The busy-window QPA start `ceil(K / (1 − U))`, or `None` when it is
@@ -874,6 +1134,71 @@ mod tests {
         let mut anchors = Anchors::default();
         anchors.record(Time::ZERO, Time::new(9));
         assert!(anchors.entries.is_empty());
+    }
+
+    #[test]
+    fn fast_and_guarded_blocks_agree_pointwise() {
+        // A certified assignment: the `FAST` sweeps must equal the
+        // guarded route at every instant the licence covers (the routes
+        // share one lane view, so this pins the no-fixup floors and the
+        // plain-arithmetic rewrite of the step terms).
+        let tasks = [
+            vd(Task::hi(0, 10, 2, 5).unwrap(), 7),
+            VdTask::untightened(Task::lo(1, 12, 3).unwrap()),
+            vd(Task::hi_constrained(2, 20, 3, 7, 16).unwrap(), 9),
+            vd(Task::hi(3, 33, 4, 11).unwrap(), 15),
+        ];
+        let mut kernel = DemandKernel::new();
+        kernel.load(&tasks);
+        assert!(kernel.lanes.fast(), "fixture must certify");
+        for t in 0..400u64 {
+            assert_eq!(
+                kernel.lo_block::<true>(t),
+                kernel.lo_block::<false>(t),
+                "lo t={t}"
+            );
+            assert_eq!(
+                kernel.hi_block::<true>(t),
+                kernel.hi_block::<false>(t),
+                "hi t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_descent_matches_guarded_descent_exactly() {
+        // Certified sets with plateau-heavy and jump-heavy descents:
+        // the `const FAST` chain must reproduce the guarded loop's
+        // verdict (witness included) from every start point.
+        let sets: [&[VdTask]; 3] = [
+            &[
+                vd(Task::hi(0, 10, 2, 5).unwrap(), 7),
+                vd(Task::hi(1, 14, 3, 6).unwrap(), 11),
+            ],
+            &[
+                vd(Task::hi(0, 12, 2, 6).unwrap(), 6),
+                vd(Task::hi(1, 20, 3, 9).unwrap(), 10),
+                VdTask::untightened(Task::lo(2, 25, 4).unwrap()),
+                vd(Task::hi(3, 33, 4, 11).unwrap(), 14),
+            ],
+            &[
+                vd(Task::hi(0, 20, 5, 10).unwrap(), 5),
+                vd(Task::hi(1, 20, 5, 10).unwrap(), 5),
+                VdTask::untightened(Task::lo(2, 7, 1).unwrap()),
+            ],
+        ];
+        for tasks in sets {
+            let mut kernel = DemandKernel::new();
+            kernel.load(tasks);
+            assert!(kernel.lanes.fast(), "fixture must certify");
+            for mode in [Mode::Lo, Mode::Hi] {
+                for start in [1u64, 2, 3, 7, 8, 9, 17, 40, 61, 200, 999, 5000] {
+                    let batched = kernel.descend_fast(start, mode);
+                    let scalar = kernel.descend(Time::new(start), mode);
+                    assert_eq!(batched, scalar, "start={start} {mode:?} {tasks:?}");
+                }
+            }
+        }
     }
 
     #[test]

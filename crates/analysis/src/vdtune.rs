@@ -112,6 +112,9 @@ pub(crate) struct Move {
     idx: usize,
     new_vd: Time,
     gain: Time,
+    /// The deadline cut `vd − new_vd` (the second sort key), filled at
+    /// push time so the hot comparator never chases the task list.
+    cut: Time,
 }
 
 /// Enumerates tightening moves for the task at `idx` that reduce its
@@ -148,6 +151,76 @@ fn moves_for(tasks: &[VdTask], idx: usize, t_star: Time, rich: bool, out: &mut V
                 idx,
                 new_vd,
                 gain: current - after,
+                cut: vt.vd - new_vd,
+            });
+        }
+    };
+
+    // Move A — push the earliest counted deadline out of the window
+    // (reduces the job count k at t*): need d' > t* − (k−1)·T.
+    let d_drop = t_star.saturating_sub((k - 1) * period) + Time::ONE;
+    if d_drop <= task.deadline() {
+        push(task.deadline() - d_drop);
+    }
+    // Move B — align the carry-over job so its guaranteed progress is
+    // maximal (mod → 0): d' = d + m.
+    if !m.is_zero() {
+        push(vt.vd - m.min(vt.vd));
+    }
+    if rich {
+        // Move C — ensure minimal overrun slack d ≥ C^H − C^L in one jump.
+        let slack = task.wcet_hi() - task.wcet_lo();
+        if d < slack {
+            push(task.deadline() - slack.min(task.deadline()));
+        }
+        // Move D — bisect towards the floor to escape plateaus.
+        let mid = Time::new((vt.vd.as_ticks() + floor_vd.as_ticks()) / 2);
+        push(mid);
+    }
+}
+
+/// [`moves_for`] over the kernel's cached lanes: the same candidate
+/// moves, in the same order, with every `dbf_HI` probe and floor
+/// division routed through the lane reciprocals
+/// ([`DemandKernel::div_period`] / [`DemandKernel::dbf_hi_with`] are
+/// bit-identical to the divisions they replace) — the move enumeration
+/// no longer divides at all.
+fn moves_for_kernel(
+    kernel: &DemandKernel,
+    idx: usize,
+    t_star: Time,
+    rich: bool,
+    out: &mut Vec<Move>,
+) {
+    let vt = kernel.assignment()[idx];
+    let task = vt.task;
+    debug_assert!(task.criticality().is_high(), "caller walks HC positions");
+    let floor_vd = task.wcet_lo();
+    if vt.vd <= floor_vd {
+        return; // cannot tighten further
+    }
+    let current = kernel.dbf_hi_with(idx, vt.vd, t_star);
+    if current.is_zero() {
+        return; // no contribution at the witness; tightening here is noise
+    }
+    let d = vt.dist();
+    let period = task.period();
+    let rel = t_star - d; // t* ≥ d because current > 0
+    let (q, m) = kernel.div_period(idx, rel);
+    let k = q + 1;
+
+    let mut push = |new_vd: Time| {
+        let new_vd = new_vd.max(floor_vd);
+        if new_vd >= vt.vd {
+            return;
+        }
+        let after = kernel.dbf_hi_with(idx, new_vd, t_star);
+        if after < current {
+            out.push(Move {
+                idx,
+                new_vd,
+                gain: current - after,
+                cut: vt.vd - new_vd,
             });
         }
     };
@@ -193,9 +266,12 @@ fn greedy_kernel(kernel: &mut DemandKernel, effort: Effort, moves: &mut Vec<Move
             DemandCheck::Unbounded => return false,
         };
         moves.clear();
-        let tasks = kernel.assignment();
-        for idx in 0..tasks.len() {
-            moves_for(tasks, idx, t_star, effort.rich_moves, moves);
+        // Only HC tasks ever produce moves (LC demand has no high-mode
+        // contribution); walking the HC position list — ascending, so
+        // the same enumeration order as a filtered full scan — skips
+        // the LC early-outs entirely.
+        for &idx in kernel.hc_positions() {
+            moves_for_kernel(kernel, idx, t_star, effort.rich_moves, moves);
         }
         // Largest demand reduction first; prefer the smallest deadline cut
         // among equal gains (less low-mode damage). The task-index
@@ -207,7 +283,7 @@ fn greedy_kernel(kernel: &mut DemandKernel, effort: Effort, moves: &mut Vec<Move
         moves.sort_unstable_by(|a, b| {
             b.gain
                 .cmp(&a.gain)
-                .then_with(|| (tasks[a.idx].vd - a.new_vd).cmp(&(tasks[b.idx].vd - b.new_vd)))
+                .then_with(|| a.cut.cmp(&b.cut))
                 .then_with(|| a.idx.cmp(&b.idx))
         });
         let mut applied = false;

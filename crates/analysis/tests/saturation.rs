@@ -93,6 +93,106 @@ fn huge_but_feasible_scale_still_schedulable() {
 }
 
 #[test]
+fn demand_kernel_guarded_route_matches_reference_at_scale() {
+    use mcsched_analysis::dbf::reference;
+    use mcsched_analysis::DemandKernel;
+    // Certificate-breaking parameters (≥ 2^32): the kernel must refuse
+    // the fast lanes and answer through the guarded saturating route —
+    // bit-identically to the seed reference.
+    let sets: Vec<Vec<VdTask>> = vec![
+        // Infeasible at scale: three half-utilisation giants.
+        (0..3)
+            .map(|id| VdTask {
+                task: huge_hi_task(id),
+                vd: Time::new(BIG / 2),
+            })
+            .collect(),
+        // Feasible at scale: two 1/16-utilisation giants.
+        vec![
+            VdTask {
+                task: Task::hi(0, BIG, BIG / 16, BIG / 8).expect("valid task"),
+                vd: Time::new(BIG / 8),
+            },
+            VdTask {
+                task: Task::hi(1, BIG, BIG / 16, BIG / 8).expect("valid task"),
+                vd: Time::new(BIG / 8),
+            },
+        ],
+        // Mixed scale: one light giant among certified-sized tasks
+        // still poisons the certificate for the whole assignment (kept
+        // light so the busy-window bound stays representable — at a
+        // heavier giant the typed early-reject intentionally diverges
+        // from the seed's saturated-horizon descent).
+        vec![
+            VdTask::untightened(Task::lo(0, 10, 2).expect("valid task")),
+            VdTask {
+                task: Task::hi(1, BIG, BIG / 16, BIG / 8).expect("valid task"),
+                vd: Time::new(BIG / 8),
+            },
+            VdTask {
+                task: Task::hi(2, 20, 3, 7).expect("valid task"),
+                vd: Time::new(9),
+            },
+        ],
+    ];
+    let mut kernel = DemandKernel::new();
+    for tasks in &sets {
+        kernel.load(tasks);
+        assert!(
+            !kernel.certified(),
+            "2^63-scale set must break the demand certificate"
+        );
+        assert_eq!(
+            kernel.check_lo(),
+            reference::check_lo_mode(tasks),
+            "guarded lo route diverged on {tasks:?}"
+        );
+        assert_eq!(
+            kernel.check_hi(),
+            reference::check_hi_mode(tasks),
+            "guarded hi route diverged on {tasks:?}"
+        );
+    }
+}
+
+#[test]
+fn demand_certificate_flips_reversibly_under_probes() {
+    use mcsched_analysis::dbf::reference;
+    use mcsched_analysis::DemandKernel;
+    // A certified base set; pushing a 2^63-scale probe must drop to the
+    // guarded route (with reference-identical answers), and popping it
+    // must restore the fast certificate — the LIFO admission pattern.
+    let base = [
+        VdTask::untightened(Task::lo(0, 12, 3).expect("valid task")),
+        VdTask {
+            task: Task::hi(1, 20, 2, 6).expect("valid task"),
+            vd: Time::new(9),
+        },
+    ];
+    let mut kernel = DemandKernel::new();
+    kernel.load(&base);
+    assert!(kernel.certified(), "small base set must certify");
+    let lo_before = kernel.check_lo();
+    let hi_before = kernel.check_hi();
+    kernel.push_task(VdTask {
+        task: huge_hi_task(900),
+        vd: Time::new(BIG / 2),
+    });
+    assert!(
+        !kernel.certified(),
+        "giant probe must break the certificate"
+    );
+    let current = kernel.assignment().to_vec();
+    assert_eq!(kernel.check_lo(), reference::check_lo_mode(&current));
+    assert_eq!(kernel.check_hi(), reference::check_hi_mode(&current));
+    let popped = kernel.pop_task();
+    assert_eq!(popped.task.id().0, 900);
+    assert!(kernel.certified(), "pop must restore the certificate");
+    assert_eq!(kernel.check_lo(), lo_before);
+    assert_eq!(kernel.check_hi(), hi_before);
+}
+
+#[test]
 fn time_saturating_ops_clamp_at_max() {
     let big = Time::new(BIG);
     assert_eq!(big.saturating_mul(4), Time::MAX);

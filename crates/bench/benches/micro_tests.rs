@@ -19,7 +19,11 @@
 //! * `vdtune_kernel` — the EY / ECDF tuners: the retained seed stack
 //!   (flat per-call QPA from the busy-window bound) vs the incremental
 //!   demand kernel (warm-resumed fixpoints + memoised violation
-//!   anchors), verdicts asserted bit-identical before any measurement.
+//!   anchors), verdicts asserted bit-identical before any measurement;
+//! * `demand_soa` — the same tuners through the SoA demand lanes
+//!   (certificate-gated `const FAST` blocks, reciprocal floor division,
+//!   branch-free per-point lane sweeps) on admission-sized and n ≥ 20
+//!   shapes, verdicts asserted bit-identical before any measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcsched_analysis::amc::reference;
@@ -246,11 +250,102 @@ fn bench_vdtune_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wide (n ≥ 20) sets at the tuner load point: long lanes, so the
+/// branch-free sweep (not fixed per-call overhead) dominates a check.
+fn wide_tuner_sets() -> Vec<TaskSet> {
+    let point = GridPoint {
+        u_hh: 0.45,
+        u_hl: 0.2,
+        u_ll: 0.25,
+    };
+    let mut spec = TaskSetSpec::paper_defaults(1, point, DeadlineModel::Implicit);
+    spec.n_min = 20;
+    spec.n_max = 40;
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x1a7e5);
+    let mut sets = Vec::new();
+    let mut guard = 0;
+    while sets.len() < 24 && guard < 800 {
+        guard += 1;
+        if let Ok(ts) = spec.generate(&mut rng) {
+            sets.push(ts);
+        }
+    }
+    assert!(sets.len() >= 16, "only {} wide tuner sets", sets.len());
+    assert!(sets.iter().all(|ts| ts.len() >= 20));
+    sets
+}
+
+fn bench_demand_soa(c: &mut Criterion) {
+    // Two corpus shapes, matching the demand kernel's routing: admission-
+    // sized sets (n ≤ 10, where fixed per-check overhead and the warm
+    // memos dominate) and wide sets (n ≥ 20, where the certificate-gated
+    // `dbf` lane sweep carries the win). Both tuners run so the bench
+    // covers the LO-only (EY) and warm-resumed hi-mode (ECDF) QPA paths.
+    let small = uniprocessor_corpus(2, 256, BENCH_SEED ^ 0xd50a);
+    let wide = wide_tuner_sets();
+    let mut ws = AnalysisWorkspace::new();
+    for ts in small.iter().chain(&wide) {
+        assert_eq!(
+            Ey::new().is_schedulable_in(ts, &mut ws),
+            vd_reference::ey_is_schedulable(ts),
+            "EY lane/seed divergence on an n={} set",
+            ts.len()
+        );
+        assert_eq!(
+            Ecdf::new().is_schedulable_in(ts, &mut ws),
+            vd_reference::ecdf_is_schedulable(ts),
+            "ECDF lane/seed divergence on an n={} set",
+            ts.len()
+        );
+    }
+    let mut group = c.benchmark_group("demand_soa");
+    for (shape, sets) in [("admission-sized", &small), ("n20-lanes", &wide)] {
+        group.bench_with_input(BenchmarkId::new(shape, "EY-reference"), sets, |b, sets| {
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| vd_reference::ey_is_schedulable(std::hint::black_box(ts)))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new(shape, "EY-lanes"), sets, |b, sets| {
+            let test = Ey::new();
+            let mut ws = AnalysisWorkspace::new();
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                    .count()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new(shape, "ECDF-reference"),
+            sets,
+            |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .filter(|ts| vd_reference::ecdf_is_schedulable(std::hint::black_box(ts)))
+                        .count()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new(shape, "ECDF-lanes"), sets, |b, sets| {
+            let test = Ecdf::new();
+            let mut ws = AnalysisWorkspace::new();
+            b.iter(|| {
+                sets.iter()
+                    .filter(|ts| test.is_schedulable_in(std::hint::black_box(ts), &mut ws))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tests,
     bench_amcmax_streaming,
     bench_amc_rtb_batched,
-    bench_vdtune_kernel
+    bench_vdtune_kernel,
+    bench_demand_soa
 );
 criterion_main!(benches);

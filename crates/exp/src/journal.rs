@@ -256,35 +256,60 @@ impl Journal {
     pub fn recover(path: &Path) -> std::io::Result<Journal> {
         let mut images: HashMap<String, SessionImage> = HashMap::new();
         let mut stats = JournalStats::default();
+        // Byte offset just past the last cleanly replayed record. The
+        // file is cut back to this point before appends resume: leaving
+        // a torn half-line at the tail would glue the next committed
+        // record onto it, and replay of the *next* recovery would stop
+        // at that merged garbage line and silently drop the commit.
+        let mut good = 0u64;
+        let mut torn = false;
+        let mut terminated = true;
         match File::open(path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
             Ok(file) => {
                 let mut reader = BufReader::new(file);
                 let mut line = String::new();
+                let mut pos = 0u64;
                 loop {
                     line.clear();
                     match reader.read_line(&mut line) {
-                        Ok(0) | Err(_) => break,
-                        Ok(_) => {}
+                        Ok(0) => break,
+                        Err(_) => {
+                            // Unreadable bytes (e.g. invalid UTF-8):
+                            // same treatment as a torn record.
+                            torn = true;
+                            break;
+                        }
+                        Ok(n) => pos += n as u64,
                     }
                     let trimmed = line.trim();
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    if replay_record(&mut images, trimmed) {
-                        stats.recovered += 1;
+                    if trimmed.is_empty() || replay_record(&mut images, trimmed) {
+                        if !trimmed.is_empty() {
+                            stats.recovered += 1;
+                        }
+                        good = pos;
+                        terminated = line.ends_with('\n');
                     } else {
                         // A torn tail (or corruption): everything
                         // after the first unreadable record is
                         // suspect, so replay stops here.
                         stats.skipped += 1;
+                        torn = true;
                         break;
                     }
                 }
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if torn {
+            file.set_len(good)?;
+        } else if !terminated {
+            // A clean final record missing its newline (crash between
+            // the payload write and nothing else): keep it, but start
+            // the next append on a fresh line.
+            (&file).write_all(b"\n")?;
+        }
         Ok(Journal {
             path: path.to_owned(),
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
@@ -764,6 +789,69 @@ mod tests {
         let img = j.attach("s", "CA-UDP-AMC-rtb", 1).unwrap().expect("image");
         assert_eq!(img.rows.len(), 2, "complete records all survive");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_after_torn_tail_recovery_survive_second_recovery() {
+        let path = temp_journal("torn-twice");
+
+        // Life 1: two committed admits, then a SIGKILL mid-append
+        // leaves a torn half-record at the tail.
+        {
+            let j = Journal::create(&path).unwrap();
+            assert_eq!(j.attach("s", "CU-UDP-ECDF", 2), Ok(None));
+            j.committed_admit("s", None, &lo(1, 10, 1), 0, 1);
+            j.committed_admit("s", None, &lo(2, 20, 1), 0, 2);
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"j\":\"admit\",\"s\":\"s\",\"ta").unwrap();
+        }
+
+        // Life 2: recover (sees 2 rows), then commit one more admit.
+        // The torn tail must have been cut, or this commit would be
+        // glued onto the half-record and lost to the next replay.
+        {
+            let j = Journal::recover(&path).unwrap();
+            let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+            assert_eq!(img.rows.len(), 2);
+            j.committed_admit("s", None, &lo(3, 40, 1), 1, 3);
+        }
+
+        // Life 3: the admit committed in life 2 must be recovered.
+        let j = Journal::recover(&path).unwrap();
+        let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+        let ids: Vec<u32> = img.rows.iter().map(|(t, _)| t.id().0).collect();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(ids, vec![1, 2, 3], "life-2 commit lost after second crash");
+    }
+
+    #[test]
+    fn unterminated_final_record_keeps_its_line_to_itself() {
+        let path = temp_journal("chopped-newline");
+        {
+            let j = Journal::create(&path).unwrap();
+            assert_eq!(j.attach("s", "CU-UDP-ECDF", 2), Ok(None));
+            j.committed_admit("s", None, &lo(1, 10, 1), 0, 1);
+        }
+        // Strip the trailing newline: a crash after the payload bytes
+        // but before anything else. The record itself is complete.
+        {
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        }
+        {
+            let j = Journal::recover(&path).unwrap();
+            let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+            assert_eq!(img.rows.len(), 1, "complete unterminated record kept");
+            j.committed_admit("s", None, &lo(2, 20, 1), 0, 2);
+        }
+        let j = Journal::recover(&path).unwrap();
+        assert_eq!(j.stats().skipped, 0, "no merged garbage line");
+        let img = j.attach("s", "CU-UDP-ECDF", 2).unwrap().expect("image");
+        let ids: Vec<u32> = img.rows.iter().map(|(t, _)| t.id().0).collect();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(ids, vec![1, 2]);
     }
 
     #[test]

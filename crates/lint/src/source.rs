@@ -160,16 +160,21 @@ impl<'a> FileCtx<'a> {
     }
 
     /// From code index `from`, the byte range of the item that follows:
-    /// to the matching `}` of its first block, or to the first `;` if no
-    /// block opens before one.
+    /// to the matching `}` of its first block, or to the first
+    /// *top-level* `;` if no block opens before one. Semicolons nested
+    /// in `(…)` / `[…]` groups — array types like `[u64; 8]` in a
+    /// signature — do not terminate the item.
     fn item_region(&self, from: usize) -> Option<(usize, usize)> {
+        let mut nest = 0usize;
         for ci in from..self.code.len() {
             match self.ctext(ci) {
                 "{" => {
                     let close = self.match_brace(ci)?;
                     return Some((self.ctok(from).start, self.ctok(close).end));
                 }
-                ";" => return Some((self.ctok(from).start, self.ctok(ci).end)),
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest = nest.saturating_sub(1),
+                ";" if nest == 0 => return Some((self.ctok(from).start, self.ctok(ci).end)),
                 _ => {}
             }
         }

@@ -83,6 +83,17 @@ fn time_arith_fixture() {
 }
 
 #[test]
+fn fast_regions_fixture() {
+    // The region map under the microscope: the `[u64; 8]` signature must
+    // not truncate the `_fast` body's exemption, and only the then-arm
+    // of `if FAST {` is fast — the else-arm's raw `+` is the single
+    // finding.
+    let (rows, suppressed) = lint_as("crates/analysis/src/workspace.rs", "fast_regions.rs");
+    assert_eq!(rows, vec![row("time-arith", 23, 13, 1, "+")]);
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
 fn float_sum_fixture() {
     let (rows, suppressed) = lint_as("crates/analysis/src/vdtune.rs", "float_sum.rs");
     assert_eq!(rows, vec![row("float-sum", 11, 59, 3, "sum")]);
@@ -141,6 +152,7 @@ fn every_fixture_violation_fails_the_run() {
         ("crates/gen/src/sort.rs", "no_partial_cmp.rs"),
         ("crates/analysis/src/scratch.rs", "hot_path_alloc.rs"),
         ("crates/analysis/src/dbf.rs", "time_arith.rs"),
+        ("crates/analysis/src/workspace.rs", "fast_regions.rs"),
         ("crates/analysis/src/vdtune.rs", "float_sum.rs"),
         ("crates/exp/src/service.rs", "reply_id.rs"),
         ("crates/lint/tests/x.rs", "unstable_sort.rs"),

@@ -1,0 +1,25 @@
+// mclint: hot-path
+// Fixture for the `time-arith` fast-region map (linted as
+// crates/analysis/src/workspace.rs, which also demands this header).
+//
+// Pins two region-map behaviours the demand lanes rely on:
+//  * a `fn *_fast` item whose signature carries an array type — the `;`
+//    inside `[u64; 8]` must not terminate the item scan early, or the
+//    body silently loses its exemption (the QPA ladder kernels have
+//    exactly this shape);
+//  * `if FAST {` exempts only its then-arm — the else-arm stays under
+//    the rule.
+
+fn lo_ladder_fast(vals: &mut [u64; 8], cl: u64, per: u64) {
+    for (k, v) in vals.iter_mut().enumerate() {
+        *v += cl * (per << k as u64);
+    }
+}
+
+fn step<const FAST: bool>(acc: u64, charge: u64, t: u64) -> u64 {
+    if FAST {
+        acc + charge * t
+    } else {
+        acc + charge.saturating_mul(t)
+    }
+}

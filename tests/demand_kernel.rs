@@ -166,14 +166,30 @@ fn exercise_kernel(tasks: &[VdTask], steps: &[(usize, u8)]) {
             recheck(&mut kernel);
         }
     }
-    // A LIFO probe (push + checks + pop) must leave the answers intact.
+    // A LIFO probe ladder (pushes + checks + pops, several deep) must
+    // delta-maintain the lane view exactly and leave the answers intact.
     let lo_before = kernel.check_lo();
     let hi_before = kernel.check_hi();
-    let extra = Task::hi(900, 14, 2, 5).unwrap();
-    kernel.push_task(VdTask::untightened(extra));
-    recheck(&mut kernel);
-    let popped = kernel.pop_task();
-    assert_eq!(popped.task.id().0, 900);
+    let extras = [
+        Task::hi(900, 14, 2, 5).unwrap(),
+        Task::lo(901, 9, 1).unwrap(),
+        Task::hi_constrained(902, 30, 3, 8, 22).unwrap(),
+    ];
+    for (depth, extra) in extras.iter().enumerate() {
+        kernel.push_task(VdTask::untightened(*extra));
+        recheck(&mut kernel);
+        // Retarget the probe itself: lane writes at the freshly pushed
+        // position, while the committed prefix stays untouched.
+        if extra.criticality().is_high() {
+            kernel.replace_vd(tasks.len() + depth, extra.wcet_lo().max(Time::new(3)));
+            recheck(&mut kernel);
+        }
+    }
+    for expected in extras.iter().rev() {
+        let popped = kernel.pop_task();
+        assert_eq!(popped.task.id(), expected.id());
+        recheck(&mut kernel);
+    }
     assert_eq!(kernel.check_lo(), lo_before);
     assert_eq!(kernel.check_hi(), hi_before);
 }
@@ -230,6 +246,15 @@ fn seeded_corpus_kernel_equivalence() {
             assert_tuners_equivalent(&ts, &mut ws);
             let untightened: Vec<VdTask> = ts.iter().map(|&t| VdTask::untightened(t)).collect();
             assert_checks_equivalent(&untightened);
+            // Generator-shaped parameters must license the fast lanes:
+            // the corpus equivalences above genuinely pin the certified
+            // lane route, not the guarded fallback.
+            let mut kernel = DemandKernel::new();
+            kernel.load(&untightened);
+            assert!(
+                kernel.certified(),
+                "corpus set must carry the demand certificate: {ts}"
+            );
         }
         assert_eq!(made, 42, "generator starved at m={m} {deadlines}");
         generated += made;
